@@ -1,0 +1,22 @@
+// mainprog.m
+//
+// The small MANIFOLD program of §5 that "finally changes our original
+// sequential application into a concurrent version".  The C++ rendering is
+// mw::run_main_program (src/core/protocol.cpp).
+
+//pragma include "ResSourceCode.h"
+
+#include "protocolMW.h"
+
+manifold Worker(event) atomic.
+
+manifold Master(port in p) port in input. port in dataport.
+    port out output. port out error.
+    atomic {internal. event create_pool, create_worker,
+            rendezvous, a_rendezvous, finished}.
+
+/*****************************************************************/
+manifold Main(process argv)
+{
+  begin: ProtocolMW(Master(argv), Worker).
+}

@@ -1,0 +1,104 @@
+// Micro-benchmarks of the numerical substrates: the sparse/banded kernels
+// that dominate subsolve ("a linear system of equations (Ax = b) is solved
+// for every time step ... this A matrix must be built up in the program
+// which takes a lot of time").
+#include <benchmark/benchmark.h>
+
+#include "grid/combination.hpp"
+#include "grid/prolongation.hpp"
+#include "linalg/banded.hpp"
+#include "linalg/bicgstab.hpp"
+#include "linalg/precond.hpp"
+#include "rosenbrock/ros2.hpp"
+#include "transport/subsolve.hpp"
+#include "transport/system.hpp"
+
+namespace {
+
+using namespace mg;
+
+transport::TransportSystem make_system(int lx, int ly,
+                                       transport::StageSolverKind kind =
+                                           transport::StageSolverKind::BandedLU) {
+  transport::SystemOptions options;
+  options.solver = kind;
+  return transport::TransportSystem(grid::Grid2D(2, lx, ly), transport::TransportProblem{},
+                                    options);
+}
+
+void BM_JacobianAssembly(benchmark::State& state) {
+  const int l = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto system = make_system(l, l);
+    benchmark::DoNotOptimize(system.jacobian().nnz());
+  }
+  state.SetLabel("grid G(2;" + std::to_string(l) + "," + std::to_string(l) + ")");
+}
+BENCHMARK(BM_JacobianAssembly)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_Spmv(benchmark::State& state) {
+  auto system = make_system(static_cast<int>(state.range(0)), static_cast<int>(state.range(0)));
+  const auto& a = system.jacobian();
+  linalg::Vec x(a.cols(), 1.0), y;
+  for (auto _ : state) {
+    a.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_Spmv)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_StageMatrixBuildAndFactor(benchmark::State& state) {
+  auto system = make_system(static_cast<int>(state.range(0)), static_cast<int>(state.range(0)));
+  linalg::Vec u(system.dimension(), 0.5);
+  for (auto _ : state) {
+    auto solver = system.prepare_stage(0.0, u, 0.01);
+    benchmark::DoNotOptimize(solver.get());
+  }
+}
+BENCHMARK(BM_StageMatrixBuildAndFactor)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_StageSolve(benchmark::State& state) {
+  const auto kind = static_cast<transport::StageSolverKind>(state.range(1));
+  auto system = make_system(static_cast<int>(state.range(0)), static_cast<int>(state.range(0)), kind);
+  linalg::Vec u(system.dimension(), 0.5), f(system.dimension()), x;
+  system.rhs(0.0, u, f);
+  auto solver = system.prepare_stage(0.0, u, 0.01);
+  for (auto _ : state) {
+    solver->solve(f, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetLabel(to_string(kind));
+}
+BENCHMARK(BM_StageSolve)
+    ->Args({4, 0})  // banded LU
+    ->Args({4, 1})  // bicgstab + ilu0
+    ->Args({4, 2});  // bicgstab + jacobi
+
+void BM_Ros2Subsolve(benchmark::State& state) {
+  const grid::Grid2D g(2, static_cast<int>(state.range(0)), static_cast<int>(state.range(0)));
+  transport::SubsolveConfig config;
+  config.le_tol = 1e-3;
+  for (auto _ : state) {
+    auto r = transport::subsolve(g, config);
+    benchmark::DoNotOptimize(r.stats.accepted);
+  }
+}
+BENCHMARK(BM_Ros2Subsolve)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_Prolongate(benchmark::State& state) {
+  const int level = static_cast<int>(state.range(0));
+  grid::Field coarse(grid::Grid2D(2, 0, level));
+  coarse.sample([](double x, double y) { return x * y; });
+  const grid::Grid2D fine = grid::finest_grid(2, level);
+  for (auto _ : state) {
+    auto f = grid::prolongate(coarse, fine);
+    benchmark::DoNotOptimize(f.data().data());
+  }
+}
+BENCHMARK(BM_Prolongate)->Arg(3)->Arg(5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

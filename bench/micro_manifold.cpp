@@ -1,0 +1,104 @@
+// Micro-benchmarks of the coordination layer — the paper's third overhead
+// category: "the overhead of the coordination layer (i.e., the actual
+// implementation of the overhead of the concurrency)".
+#include <benchmark/benchmark.h>
+
+#include "core/master.hpp"
+#include "core/protocol.hpp"
+#include "core/worker.hpp"
+#include "manifold/builtins.hpp"
+#include "manifold/runtime.hpp"
+
+namespace {
+
+using namespace mg;
+
+/// Units/second through one stream between two processes.
+void BM_StreamThroughput(benchmark::State& state) {
+  const std::int64_t batch = state.range(0);
+  for (auto _ : state) {
+    iwim::Runtime runtime;
+    auto producer = runtime.create_process("Producer", "p", [&](iwim::ProcessContext& ctx) {
+      for (std::int64_t i = 0; i < batch; ++i) ctx.write(iwim::Unit::of(i));
+    });
+    std::int64_t sum = 0;
+    auto consumer = runtime.create_process("Consumer", "c", [&](iwim::ProcessContext& ctx) {
+      for (std::int64_t i = 0; i < batch; ++i) sum += ctx.read().as<std::int64_t>();
+    });
+    runtime.connect(producer->port("output"), consumer->port("input"));
+    producer->activate();
+    consumer->activate();
+    consumer->wait_terminated();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_StreamThroughput)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+/// Round-trip latency of a raise/await event pair between two processes.
+void BM_EventPingPong(benchmark::State& state) {
+  const std::int64_t rounds = state.range(0);
+  for (auto _ : state) {
+    iwim::Runtime runtime;
+    auto ping = runtime.create_process("Ping", "ping", [&](iwim::ProcessContext& ctx) {
+      for (std::int64_t i = 0; i < rounds; ++i) {
+        ctx.raise("ping");
+        ctx.await({{"pong", std::nullopt}});
+      }
+    });
+    auto pong = runtime.create_process("Pong", "pong", [&](iwim::ProcessContext& ctx) {
+      for (std::int64_t i = 0; i < rounds; ++i) {
+        ctx.await({{"ping", std::nullopt}});
+        ctx.raise("pong");
+      }
+    });
+    ping->activate();
+    pong->activate();
+    ping->wait_terminated();
+    pong->wait_terminated();
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_EventPingPong)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+/// Full protocol cost per worker with trivial computation — the pure
+/// coordination overhead of ProtocolMW.
+void BM_ProtocolPerWorker(benchmark::State& state) {
+  const std::int64_t workers = state.range(0);
+  for (auto _ : state) {
+    iwim::Runtime runtime;
+    auto master =
+        mw::make_master(runtime, "master", [&](mw::MasterApi& api, iwim::ProcessContext&) {
+          api.create_pool();
+          for (std::int64_t k = 0; k < workers; ++k) {
+            api.create_worker();
+            api.send_work(iwim::Unit::of(k));
+          }
+          for (std::int64_t k = 0; k < workers; ++k) api.collect_result();
+          api.rendezvous();
+          api.finished();
+        });
+    auto factory = mw::make_worker_factory([](const iwim::Unit& u) { return u; });
+    mw::run_main_program(runtime, master, std::move(factory));
+  }
+  state.SetItemsProcessed(state.iterations() * workers);
+}
+BENCHMARK(BM_ProtocolPerWorker)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+/// Direct port deposit + read (no stream) — the floor for unit passing.
+void BM_PortDepositRead(benchmark::State& state) {
+  iwim::Runtime runtime;
+  auto p = runtime.create_process("Sink", "sink", [](iwim::ProcessContext&) {});
+  iwim::Port& port = p->port("input");
+  const iwim::Unit unit = iwim::Unit::of(std::int64_t{42});
+  for (auto _ : state) {
+    port.deposit(unit);
+    benchmark::DoNotOptimize(port.try_read());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PortDepositRead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Regenerates Table 1 of the paper: st, ct, m, su for root = 2, levels
+// 0..15, integrator tolerances 1.0e-3 and 1.0e-4, averaged over five runs —
+// on the simulated 32-node Athlon cluster with the Athlon-calibrated cost
+// model.  Paper values are printed alongside for comparison.
+//
+// Usage: table1 [--runs N] [--seed S] [--max-level L]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/paper_reference.hpp"
+#include "cluster/cluster_sim.hpp"
+#include "cluster/cost_model.hpp"
+
+namespace {
+
+void print_block(const char* title, const std::vector<mg::cluster::TableRow>& rows,
+                 const mg::bench::PaperRow* paper, std::size_t paper_count) {
+  std::printf("\n=== Table 1 (%s runs) — simulated vs paper ===\n", title);
+  std::printf("%5s | %9s %9s %5s %5s | %9s %9s %5s %5s | %s\n", "level", "st", "ct", "m", "su",
+              "st_ref", "ct_ref", "m_ref", "su_ref", "note");
+  for (const auto& row : rows) {
+    const mg::bench::PaperRow* ref = nullptr;
+    for (std::size_t i = 0; i < paper_count; ++i) {
+      if (paper[i].level == row.level) ref = &paper[i];
+    }
+    if (ref != nullptr) {
+      std::printf("%5d | %9.2f %9.2f %5.1f %5.1f | %9.2f %9.2f %5.1f %5.1f | %s\n", row.level,
+                  row.st, row.ct, row.m, row.su, ref->st, ref->ct, ref->m, ref->su,
+                  ref->estimated ? "paper row reconstructed" : "");
+    } else {
+      std::printf("%5d | %9.2f %9.2f %5.1f %5.1f |\n", row.level, row.st, row.ct, row.m, row.su);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int runs = 5;
+  std::uint64_t seed = 2004;
+  int max_level = 15;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) runs = std::atoi(argv[++i]);
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    if (std::strcmp(argv[i], "--max-level") == 0 && i + 1 < argc) max_level = std::atoi(argv[++i]);
+  }
+
+  const mg::cluster::AthlonCostModel cost;
+  mg::cluster::SimConfig config;
+  config.runs = runs;
+  config.seed = seed;
+
+  std::printf("Cluster: %zu hosts (paper mix: 24x1200 + 5x1400 + 3x1466 MHz), 100 Mbps switched\n",
+              config.cluster.size());
+  std::printf("Cost model: %.3g s/cell @1200 MHz, aspect kappa %.3g, tol factor %.3g\n",
+              cost.params().cost_per_cell, cost.params().aspect_kappa,
+              cost.params().tol_factor_1e4);
+
+  const auto rows3 = mg::cluster::simulate_table(2, max_level, 1e-3, cost, config);
+  print_block("1.0e-3", rows3, mg::bench::kPaperTable1e3.data(), mg::bench::kPaperTable1e3.size());
+
+  const auto rows4 = mg::cluster::simulate_table(2, max_level, 1e-4, cost, config);
+  print_block("1.0e-4", rows4, mg::bench::kPaperTable1e4.data(), mg::bench::kPaperTable1e4.size());
+
+  return 0;
+}

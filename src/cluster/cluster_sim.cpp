@@ -1,0 +1,213 @@
+#include "cluster/cluster_sim.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "grid/combination.hpp"
+#include "manifold/task.hpp"
+#include "sim/timeline.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "transport/subsolve.hpp"
+
+namespace mg::cluster {
+
+namespace {
+
+iwim::HostMap host_map_from(const ClusterSpec& cluster) {
+  iwim::HostMap map;
+  map.startup_host = cluster.hosts.front().name;
+  for (std::size_t i = 1; i < cluster.hosts.size(); ++i) {
+    map.worker_hosts.push_back(cluster.hosts[i].name);
+  }
+  return map;
+}
+
+struct PendingRelease {
+  double time;
+  std::uint64_t task_id;
+  bool operator>(const PendingRelease& other) const { return time > other.time; }
+};
+
+}  // namespace
+
+SimRunResult simulate_run(int root, int level, double tol, const CostModel& cost,
+                          const SimConfig& config, std::uint64_t seed) {
+  MG_REQUIRE(level >= 0);
+  support::Xoshiro256 rng(seed);
+  const OverheadModel& oh = config.overhead;
+  const double startup_mhz = config.cluster.startup().mhz;
+
+  std::map<std::string, double> mhz_by_host;
+  for (const auto& h : config.cluster.hosts) {
+    double mhz = h.mhz;
+    // Run-long background jobs (screen savers, runaway Netscape, §7).
+    if (config.background_job_probability > 0.0 &&
+        rng.uniform01() < config.background_job_probability) {
+      mhz /= config.background_slowdown;
+    }
+    mhz_by_host[h.name] = mhz;
+  }
+
+  auto noise = [&]() { return 1.0 + config.noise_amplitude * rng.uniform01(); };
+
+  // ---- sequential model (the baseline the paper times with /bin/time) ----
+  double st = cost.init_seconds(startup_mhz);
+  const auto terms = grid::combination_terms(root, level);
+  for (const auto& term : terms) {
+    st += cost.subsolve_seconds(term.grid, tol, startup_mhz) * noise();
+  }
+  st += cost.prolongation_seconds(root, level, startup_mhz) * noise();
+
+  // ---- concurrent (distributed) model ----
+  iwim::TaskCompositionSpec task_spec = iwim::TaskCompositionSpec::paper_distributed();
+  task_spec.perpetual = config.perpetual_tasks;
+  iwim::TaskManager tasks(task_spec, host_map_from(config.cluster));
+
+  sim::Timeline spawner;                          // coordinator/CONFIG, serial
+  sim::Timeline net;                              // the master's network link
+  std::map<std::string, sim::Timeline> host_cpu;  // per-host compute
+
+  std::priority_queue<PendingRelease, std::vector<PendingRelease>, std::greater<>> releases;
+  auto apply_releases = [&](double up_to) {
+    while (!releases.empty() && releases.top().time <= up_to) {
+      tasks.release(releases.top().task_id, "Worker", releases.top().time);
+      releases.pop();
+    }
+  };
+
+  // Master's task instance occupies the start-up machine for the whole run.
+  const std::uint64_t master_task = tasks.place("Master", 0.0);
+
+  double master_clock = oh.startup_s + cost.init_seconds(startup_mhz);
+
+  SimRunResult result;
+  result.sequential_seconds = st;
+  result.workers.reserve(terms.size());
+
+  // Family grouping: single pool by default; one pool per lm when requested.
+  std::vector<std::pair<std::size_t, std::size_t>> groups;  // (first, count)
+  if (config.pool_per_family && level >= 1) {
+    groups.push_back({0, static_cast<std::size_t>(level)});
+    groups.push_back({static_cast<std::size_t>(level), terms.size() - static_cast<std::size_t>(level)});
+  } else {
+    groups.push_back({0, terms.size()});
+  }
+
+  for (const auto& [first, count] : groups) {
+    master_clock += oh.event_latency_s;  // raise create_pool
+    std::vector<double> arrivals;
+    std::vector<double> deaths;
+    arrivals.reserve(count);
+    deaths.reserve(count);
+
+    for (std::size_t k = first; k < first + count; ++k) {
+      const grid::Grid2D& g = terms[k].grid;
+      WorkerTimeline w;
+      w.index = k;
+      w.grid = g;
+
+      w.requested = master_clock + oh.event_latency_s;  // raise create_worker
+      apply_releases(w.requested);
+      const std::size_t created_before = tasks.stats().tasks_created;
+      w.task_id = tasks.place("Worker", w.requested);
+      w.new_task = tasks.stats().tasks_created > created_before;
+      w.host = tasks.task(w.task_id).host;
+      const double host_mhz = mhz_by_host.at(w.host);
+
+      // Coordinator creates the worker (serial): forking a fresh task
+      // instance on a new machine is expensive; handing the worker to an
+      // idle perpetual task is cheap.
+      const double create_cost = w.new_task ? oh.create_new_task_s : oh.reuse_task_s;
+      const sim::Interval spawn = spawner.reserve(w.requested, create_cost);
+      w.ready = spawn.end + oh.event_latency_s;  // &worker reference at master
+
+      // Master marshals the work data through its network link.
+      const std::size_t payload = transport::subsolve_payload_bytes(g);
+      const sim::Interval marshal = net.reserve(w.ready, config.network.transfer_seconds(payload));
+      w.input_done = marshal.end + oh.event_latency_s;
+      master_clock = marshal.end;  // master's loop proceeds to the next worker
+
+      // On-host setup happens in parallel with the marshalling.
+      const double setup_done = w.ready + oh.worker_setup_s;
+      const double compute_cost =
+          cost.subsolve_seconds(g, tol, host_mhz) * noise();
+      const sim::Interval comp =
+          host_cpu[w.host].reserve(std::max(w.input_done, setup_done), compute_cost);
+      w.compute_start = comp.start;
+      w.compute_end = comp.end;
+
+      // Result returns through the KK stream.  The switched Ethernet is
+      // full duplex: results do not contend with the master's outbound
+      // marshalling, and they are small relative to compute, so inbound
+      // contention is neglected (reserving them on the shared timeline here
+      // would violate causality — they complete far in the future relative
+      // to the master's send loop).
+      w.result_done = comp.end + config.network.transfer_seconds(payload);
+      w.death = w.result_done + oh.death_tail_s;
+
+      arrivals.push_back(w.result_done + oh.event_latency_s);
+      deaths.push_back(w.death);
+      releases.push({w.death, w.task_id});
+      result.workers.push_back(w);
+    }
+
+    // Master collects the results in arrival order (step 3(f)).
+    std::sort(arrivals.begin(), arrivals.end());
+    double collect = master_clock;
+    for (double a : arrivals) collect = std::max(collect, a) + oh.result_handling_s;
+
+    // Rendezvous: the coordinator has counted every death_worker (3(g)/(h)).
+    const double all_dead =
+        deaths.empty() ? master_clock : *std::max_element(deaths.begin(), deaths.end());
+    master_clock = std::max(collect, all_dead + oh.event_latency_s) + 2.0 * oh.event_latency_s;
+    apply_releases(master_clock);
+  }
+
+  // finished + final sequential prolongation on the start-up machine.
+  master_clock += oh.event_latency_s;
+  master_clock += cost.prolongation_seconds(root, level, startup_mhz) * noise();
+  apply_releases(master_clock);
+  tasks.release(master_task, "Master", master_clock);
+
+  result.concurrent_seconds = master_clock;
+  result.ebb_flow = trace::build_ebb_flow(tasks.stats().machine_events, master_clock);
+  result.weighted_machines = result.ebb_flow.weighted_average();
+  result.peak_machines = result.ebb_flow.peak();
+  result.tasks_spawned = tasks.stats().tasks_created;
+  return result;
+}
+
+TableRow simulate_table_row(int root, int level, double tol, const CostModel& cost,
+                            const SimConfig& config) {
+  MG_REQUIRE(config.runs >= 1);
+  TableRow row;
+  row.level = level;
+  row.tol = tol;
+  double st_sum = 0, ct_sum = 0, m_sum = 0;
+  for (int r = 0; r < config.runs; ++r) {
+    const SimRunResult run =
+        simulate_run(root, level, tol, cost, config, config.seed + static_cast<std::uint64_t>(r));
+    st_sum += run.sequential_seconds;
+    ct_sum += run.concurrent_seconds;
+    m_sum += run.weighted_machines;
+  }
+  row.st = st_sum / config.runs;
+  row.ct = ct_sum / config.runs;
+  row.m = m_sum / config.runs;
+  row.su = row.ct > 0 ? row.st / row.ct : 0.0;
+  return row;
+}
+
+std::vector<TableRow> simulate_table(int root, int max_level, double tol, const CostModel& cost,
+                                     const SimConfig& config) {
+  std::vector<TableRow> rows;
+  rows.reserve(static_cast<std::size_t>(max_level) + 1);
+  for (int level = 0; level <= max_level; ++level) {
+    rows.push_back(simulate_table_row(root, level, tol, cost, config));
+  }
+  return rows;
+}
+
+}  // namespace mg::cluster

@@ -1,0 +1,109 @@
+// Virtual-time simulation of the distributed master/worker run (§6-§7).
+//
+// Executes the exact event sequence of ProtocolMW — create_pool, per-worker
+// create_worker / reference / data marshalling, compute, result return,
+// death_worker, rendezvous, prolongation — on a simulated cluster (hosts
+// with clock speeds, a 100 Mbps network, task-instance spawn costs,
+// perpetual-task reuse via the same TaskManager policy the real runtime
+// uses), and reports the quantities of Table 1: sequential time st,
+// concurrent time ct, time-weighted machine count m, speedup su, plus the
+// ebb & flow machine series of Figure 1.
+//
+// Timing structure (calibrated against Table 1; see DESIGN.md §6):
+//  * startup_s           — application boot (MLINK tables, CONFIG, master task)
+//  * create_new_task_s   — serial coordinator/CONFIG cost to fork a task
+//                          instance on a fresh machine (gates the master)
+//  * reuse_task_s        — serial cost to hand a worker to an idle perpetual task
+//  * worker_setup_s      — per-worker on-host setup, parallel across hosts
+//  * event_latency_s     — one protocol event hop
+//  * result_handling_s   — master-side bookkeeping per collected result
+//  * death_tail_s        — worker lifetime after its result until "Bye"
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cost_model.hpp"
+#include "cluster/host.hpp"
+#include "cluster/network.hpp"
+#include "grid/grid2d.hpp"
+#include "trace/ebb_flow.hpp"
+
+namespace mg::cluster {
+
+struct OverheadModel {
+  double startup_s = 5.0;
+  double create_new_task_s = 1.5;
+  double reuse_task_s = 0.1;
+  double worker_setup_s = 2.2;
+  double event_latency_s = 0.004;
+  double result_handling_s = 0.05;
+  double death_tail_s = 0.8;
+};
+
+struct SimConfig {
+  ClusterSpec cluster = ClusterSpec::paper();
+  NetworkModel network;
+  OverheadModel overhead;
+  bool pool_per_family = false;   ///< one pool per lm family (ablation)
+  bool perpetual_tasks = true;    ///< MLINK {perpetual} (ablation when false)
+  double noise_amplitude = 0.08;  ///< multi-user slowdown, U[0, amp] extra
+  /// §7: "some users ... run their own job(s) at night, run screen savers or
+  /// have runaway Netscape jobs."  With this probability a host carries a
+  /// background job for the whole run, dividing its effective speed by
+  /// `background_slowdown`.  Off by default; the ablation bench turns it on.
+  double background_job_probability = 0.0;
+  double background_slowdown = 2.0;
+  int runs = 5;                   ///< the paper's five-run averaging
+  std::uint64_t seed = 2004;
+};
+
+/// Per-worker schedule detail of one simulated run.
+struct WorkerTimeline {
+  std::size_t index = 0;
+  grid::Grid2D grid{2, 0, 0};
+  std::string host;
+  std::uint64_t task_id = 0;
+  bool new_task = false;
+  double requested = 0;      ///< master raises create_worker
+  double ready = 0;          ///< reference received by master
+  double input_done = 0;     ///< work data fully marshalled to the worker
+  double compute_start = 0;
+  double compute_end = 0;
+  double result_done = 0;    ///< result fully transferred to the master
+  double death = 0;          ///< death_worker raised ("Bye")
+};
+
+struct SimRunResult {
+  double sequential_seconds = 0;  ///< model st on the start-up machine
+  double concurrent_seconds = 0;  ///< model ct of the distributed run
+  trace::EbbFlowSeries ebb_flow;  ///< machines in use vs time (Figure 1)
+  double weighted_machines = 0;   ///< Table 1's m
+  int peak_machines = 0;
+  std::size_t tasks_spawned = 0;  ///< task instances forked over the run
+  std::vector<WorkerTimeline> workers;
+};
+
+/// One row of Table 1.
+struct TableRow {
+  int level = 0;
+  double tol = 0;
+  double st = 0;
+  double ct = 0;
+  double m = 0;
+  double su = 0;
+};
+
+/// Simulates one run (deterministic in `seed`).
+SimRunResult simulate_run(int root, int level, double tol, const CostModel& cost,
+                          const SimConfig& config, std::uint64_t seed);
+
+/// Averages `config.runs` runs into one Table-1 row (su = mean st / mean ct).
+TableRow simulate_table_row(int root, int level, double tol, const CostModel& cost,
+                            const SimConfig& config);
+
+/// Full table for levels [0, max_level] at one tolerance.
+std::vector<TableRow> simulate_table(int root, int max_level, double tol, const CostModel& cost,
+                                     const SimConfig& config);
+
+}  // namespace mg::cluster

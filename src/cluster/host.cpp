@@ -1,0 +1,37 @@
+#include "cluster/host.hpp"
+
+#include "support/check.hpp"
+
+namespace mg::cluster {
+
+ClusterSpec ClusterSpec::paper() {
+  ClusterSpec spec;
+  spec.reference_mhz = 1200.0;
+  spec.hosts.reserve(32);
+  spec.hosts.push_back({"bumpa.sen.cwi.nl", 1200.0});
+  const char* named[] = {"diplice", "alboka", "altfluit", "arghul", "basfluit"};
+  for (int i = 0; i < 5; ++i) spec.hosts.push_back({std::string(named[i]) + ".sen.cwi.nl", 1200.0});
+  for (int i = 0; i < 18; ++i) {
+    spec.hosts.push_back({"athlon12-" + std::to_string(i + 1) + ".sen.cwi.nl", 1200.0});
+  }
+  for (int i = 0; i < 5; ++i) {
+    spec.hosts.push_back({"athlon14-" + std::to_string(i + 1) + ".sen.cwi.nl", 1400.0});
+  }
+  for (int i = 0; i < 3; ++i) {
+    spec.hosts.push_back({"athlon1466-" + std::to_string(i + 1) + ".sen.cwi.nl", 1466.0});
+  }
+  MG_ASSERT(spec.hosts.size() == 32);
+  return spec;
+}
+
+ClusterSpec ClusterSpec::homogeneous(std::size_t n, double mhz) {
+  MG_REQUIRE(n >= 1);
+  ClusterSpec spec;
+  spec.reference_mhz = mhz;
+  spec.hosts.reserve(n);
+  spec.hosts.push_back({"startup.sim", mhz});
+  for (std::size_t i = 1; i < n; ++i) spec.hosts.push_back({"node" + std::to_string(i) + ".sim", mhz});
+  return spec;
+}
+
+}  // namespace mg::cluster

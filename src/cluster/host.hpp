@@ -1,0 +1,37 @@
+// The simulated workstation cluster (§7).
+//
+// "All the machines in our cluster have an AMD Athlon Processor and a cache
+// size of 256Kb.  However 24 machines have a clock cycle of 1200Hz [MHz],
+// 5 machines have a clock cycle of 1400Hz, and 3 machines have a clock
+// cycle of 1466Hz. ... connected to each other by a switched Ethernet
+// (100 Mbps)."
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mg::cluster {
+
+struct HostSpec {
+  std::string name;
+  double mhz = 1200.0;
+};
+
+struct ClusterSpec {
+  std::vector<HostSpec> hosts;       ///< hosts[0] is the start-up machine
+  double reference_mhz = 1200.0;     ///< cost models are calibrated at this speed
+
+  std::size_t size() const { return hosts.size(); }
+  const HostSpec& startup() const { return hosts.front(); }
+
+  /// The paper's cluster: 32 single-processor Athlons (24 x 1200 MHz,
+  /// 5 x 1400 MHz, 3 x 1466 MHz).  The start-up machine is a 1200 MHz box
+  /// (bumpa); the others are ordered slow-to-fast, matching the locus list.
+  static ClusterSpec paper();
+
+  /// A homogeneous cluster of n machines at `mhz` (ablation baseline).
+  static ClusterSpec homogeneous(std::size_t n, double mhz = 1200.0);
+};
+
+}  // namespace mg::cluster

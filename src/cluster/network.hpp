@@ -1,0 +1,26 @@
+// Network model: 100 Mbps switched Ethernet.
+//
+// With a switch, each workstation has a dedicated link; the contention point
+// for the paper's protocol is the master's own port, through which every
+// work unit and every result travels ("the master process passes all data
+// to and from the workers", §4.1).  The simulator therefore serialises all
+// transfers on one Timeline representing the master's link and charges
+// latency + size/bandwidth per message.
+#pragma once
+
+#include <cstddef>
+
+namespace mg::cluster {
+
+struct NetworkModel {
+  double bandwidth_bps = 100e6;  ///< nominal 100 Mbps
+  double efficiency = 0.8;       ///< TCP/IP + marshalling efficiency
+  double latency_s = 5e-4;       ///< per-message latency (switch + stack)
+
+  /// Wire time for one message of `bytes` payload.
+  double transfer_seconds(std::size_t bytes) const {
+    return latency_s + static_cast<double>(bytes) * 8.0 / (bandwidth_bps * efficiency);
+  }
+};
+
+}  // namespace mg::cluster

@@ -1,0 +1,196 @@
+#include "core/concurrent_solver.hpp"
+
+#include <future>
+#include <mutex>
+
+#include "core/marshal.hpp"
+#include "core/master.hpp"
+#include "core/worker.hpp"
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+#include "transport/subsolve.hpp"
+
+namespace mg::mw {
+
+const char* to_string(DataPath p) {
+  switch (p) {
+    case DataPath::ThroughMaster: return "through-master";
+    case DataPath::SharedGlobal: return "shared-global";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Shared state for the DataPath::SharedGlobal ablation: workers store their
+/// solutions straight into the global structure.  Slots are disjoint per
+/// worker, but a mutex keeps the structure internally consistent anyway.
+struct SharedGlobalState {
+  std::mutex mutex;
+  transport::GlobalData data;
+  std::vector<transport::GridRunRecord> records;
+
+  explicit SharedGlobalState(int root, int level) : data(root, level) {}
+};
+
+/// Runs one pool: creates `count` workers starting at term index `first`,
+/// charges each with its grid, collects results (ThroughMaster only), and
+/// holds the rendezvous.
+void run_pool(MasterApi& api, const transport::ProgramConfig& program,
+              const std::vector<grid::CombinationTerm>& terms, std::size_t first,
+              std::size_t count, DataPath path, transport::GlobalData& data,
+              std::vector<transport::GridRunRecord>& records) {
+  api.create_pool();  // master step 3(a)
+  const transport::SubsolveConfig kernel = program.kernel_config();
+  for (std::size_t k = first; k < first + count; ++k) {
+    api.create_worker();  // steps 3(b)+(c)
+    const grid::Grid2D& g = terms[k].grid;
+    api.send_work(iwim::Unit::of(WorkItem{k, g.root(), g.lx(), g.ly(), kernel}));  // step 3(d)
+  }
+  if (path == DataPath::ThroughMaster) {
+    // Step 3(f): collect the results from the master's own input (dataport).
+    // On a worker failure (empty unit), the rendezvous must still be held —
+    // the coordinator is inside Create_Worker_Pool and every worker raises
+    // death_worker even when it crashes — before the error propagates.
+    try {
+      for (std::size_t k = 0; k < count; ++k) {
+        const iwim::Unit unit = api.collect_result();
+        if (!unit.is<ResultItem>()) {
+          throw std::runtime_error("solve_concurrent: a worker failed to produce a result");
+        }
+        const auto& r = unit.as<ResultItem>();
+        MG_ASSERT(r.index < terms.size());
+        grid::Field field(terms[r.index].grid);
+        field.data() = r.node_data;
+        data.store(r.index, std::move(field));
+        records[r.index] = {terms[r.index].grid, terms[r.index].coefficient, r.stats,
+                            r.elapsed_seconds};
+      }
+    } catch (...) {
+      api.rendezvous();
+      throw;
+    }
+  }
+  api.rendezvous();  // steps 3(g)+(h)
+}
+
+}  // namespace
+
+ConcurrentResult solve_concurrent(const transport::ProgramConfig& program,
+                                  const ConcurrentOptions& options) {
+  MG_REQUIRE(program.level >= 0);
+
+  iwim::RuntimeConfig rt_config;
+  rt_config.tasks = options.tasks;
+  rt_config.hosts = options.hosts;
+  rt_config.trace = options.trace;
+  iwim::Runtime runtime(rt_config);
+
+  const auto terms = grid::combination_terms(program.root, program.level);
+  auto shared = options.data_path == DataPath::SharedGlobal
+                    ? std::make_shared<SharedGlobalState>(program.root, program.level)
+                    : nullptr;
+
+  std::promise<transport::SolveResult> result_promise;
+  std::future<transport::SolveResult> result_future = result_promise.get_future();
+
+  // The master: the sequential program minus subsolve (§4: "the master
+  // performs all the computation in the sequential source code except the
+  // work embodied in subsolve, which is done by the workers").
+  auto master = make_master(
+      runtime, "master",
+      [&program, &terms, &options, shared, &result_promise](MasterApi& api,
+                                                            iwim::ProcessContext& ctx) {
+        try {
+        support::Stopwatch total;
+        support::Stopwatch phase;
+        transport::GlobalData local_data(program.root, program.level);
+        transport::GlobalData& data = shared ? shared->data : local_data;
+        std::vector<transport::GridRunRecord> records(
+            terms.size(),
+            transport::GridRunRecord{grid::Grid2D(program.root, 0, 0), 0.0, {}, 0.0});
+        const double init_seconds = phase.elapsed_seconds();
+
+        // The concurrent region: one pool over all grids, or one per family.
+        phase.reset();
+        if (options.pool_per_family && program.level >= 1) {
+          // Family lm = level-1 occupies terms [0, level); lm = level the rest.
+          const std::size_t lower = static_cast<std::size_t>(program.level);
+          run_pool(api, program, terms, 0, lower, options.data_path, data, records);
+          run_pool(api, program, terms, lower, terms.size() - lower, options.data_path, data,
+                   records);
+        } else {
+          run_pool(api, program, terms, 0, terms.size(), options.data_path, data, records);
+        }
+        api.finished();  // master step 4
+        const double subsolve_seconds = phase.elapsed_seconds();
+
+        if (shared) {
+          std::lock_guard<std::mutex> lock(shared->mutex);
+          records = shared->records;
+        }
+
+        // Step 5: the final sequential computation — prolongation & combine.
+        phase.reset();
+        MG_ASSERT(data.complete());
+        std::vector<grid::Field> components;
+        components.reserve(data.solutions.size());
+        for (auto& s : data.solutions) components.push_back(std::move(*s));
+        grid::Field combined = grid::combine(data.terms, components,
+                                             grid::finest_grid(program.root, program.level));
+        const double prolongation_seconds = phase.elapsed_seconds();
+
+        ctx.trace("prolongation done", "concurrent_solver.cpp", __LINE__);
+        result_promise.set_value(transport::SolveResult{
+            std::move(combined), std::move(records), init_seconds, subsolve_seconds,
+            prolongation_seconds, total.elapsed_seconds()});
+        } catch (...) {
+          // Propagate the failure to the caller blocked on the future; the
+          // master still terminates so the protocol can unwind.
+          result_promise.set_exception(std::current_exception());
+          api.finished();
+        }
+      });
+
+  // The worker: a wrapper around subsolve (§5).
+  WorkFn work;
+  if (options.data_path == DataPath::ThroughMaster) {
+    const bool marshal = options.marshal_through_bytes;
+    work = [marshal](const iwim::Unit& unit) {
+      WorkItem item = unit.as<WorkItem>();
+      if (marshal) item = decode_work_item(encode_work_item(item));  // wire round-trip
+      const grid::Grid2D g(item.root, item.lx, item.ly);
+      transport::SubsolveResult r = transport::subsolve(g, item.config);
+      ResultItem result{item.index, std::move(r.solution.data()), r.stats, r.elapsed_seconds};
+      if (marshal) result = decode_result_item(encode_result_item(result));
+      return iwim::Unit::of(std::move(result));
+    };
+  } else {
+    work = [shared, &terms](const iwim::Unit& unit) {
+      const auto& item = unit.as<WorkItem>();
+      const grid::Grid2D g(item.root, item.lx, item.ly);
+      transport::SubsolveResult r = transport::subsolve(g, item.config);
+      {
+        std::lock_guard<std::mutex> lock(shared->mutex);
+        if (shared->records.size() != terms.size()) {
+          shared->records.assign(terms.size(), transport::GridRunRecord{g, 0.0, {}, 0.0});
+        }
+        shared->records[item.index] = {terms[item.index].grid, terms[item.index].coefficient,
+                                       r.stats, r.elapsed_seconds};
+        shared->data.store(item.index, std::move(r.solution));
+      }
+      return iwim::Unit::of(ResultItem{item.index, {}, r.stats, r.elapsed_seconds});
+    };
+  }
+
+  ConcurrentResult result{transport::SolveResult{grid::Field(grid::Grid2D(program.root, 0, 0)),
+                                                 {}, 0, 0, 0, 0},
+                          {}, {}};
+  result.protocol = run_main_program(runtime, master, make_worker_factory(std::move(work)));
+  result.solve = result_future.get();
+  result.tasks = runtime.tasks().stats();
+  runtime.shutdown();
+  return result;
+}
+
+}  // namespace mg::mw

@@ -1,0 +1,73 @@
+// The restructured ("modernized") application of §5: the sequential
+// sparse-grid program re-expressed as a master/worker concurrent application
+// over the generic ProtocolMW coordinator.
+//
+// The master performs everything the sequential main() did except the
+// subsolve calls, which it delegates — one grid per worker — to a pool of
+// workers created by the coordinator.  §6 requires the output to be
+// "exactly the same as in the sequential version"; tests assert bit-equality
+// with transport::solve_sequential.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "manifold/task.hpp"
+#include "transport/seq_solver.hpp"
+#include "trace/trace_log.hpp"
+
+namespace mg::mw {
+
+/// Work unit the master writes to its output port: which grid to subsolve.
+struct WorkItem {
+  std::size_t index;  ///< position in the combination-term visit order
+  int root;
+  int lx;
+  int ly;
+  transport::SubsolveConfig config;
+};
+
+/// Result unit the worker writes back through the KK stream.
+struct ResultItem {
+  std::size_t index;
+  std::vector<double> node_data;
+  ros::Ros2Stats stats;
+  double elapsed_seconds;
+};
+
+/// How computed data travels (§4.1): in the paper's protocol "the master
+/// process passes all data to and from the workers"; the alternative it
+/// mentions (but never tried) lets workers access the global data structure
+/// directly — implemented here for the ablation bench.
+enum class DataPath {
+  ThroughMaster,  ///< paper's protocol: data via master's ports
+  SharedGlobal,   ///< §4.1 alternative: workers write the global structure
+};
+
+const char* to_string(DataPath p);
+
+struct ConcurrentOptions {
+  bool pool_per_family = false;  ///< one pool per lm family instead of one pool total
+  DataPath data_path = DataPath::ThroughMaster;
+  /// Round-trip every work/result unit through the wire codec (core/marshal)
+  /// to emulate the cross-machine transport of a distributed run; results
+  /// must still be bit-identical to the sequential program.
+  bool marshal_through_bytes = false;
+  iwim::TaskCompositionSpec tasks = iwim::TaskCompositionSpec::paper_distributed();
+  iwim::HostMap hosts = iwim::HostMap::generated(32);
+  trace::TraceLog* trace = nullptr;  ///< optional §6-style trace, not owned
+};
+
+struct ConcurrentResult {
+  transport::SolveResult solve;
+  ProtocolStats protocol;
+  iwim::TaskStats tasks;
+};
+
+/// Runs the concurrent version.  Deterministic result (identical to
+/// solve_sequential) for a fixed program config.
+ConcurrentResult solve_concurrent(const transport::ProgramConfig& program,
+                                  const ConcurrentOptions& options = {});
+
+}  // namespace mg::mw

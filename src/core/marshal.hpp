@@ -1,0 +1,26 @@
+// Wire marshalling for the master/worker units.
+//
+// In the distributed run the work and result units cross machine boundaries
+// (§6); this codec fixes their byte layout, which (a) makes the network
+// model's payload sizes exact and (b) lets tests prove the concurrent result
+// is bit-identical to the sequential one *even through serialization*.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/concurrent_solver.hpp"
+
+namespace mg::mw {
+
+std::vector<std::uint8_t> encode_work_item(const WorkItem& item);
+WorkItem decode_work_item(const std::vector<std::uint8_t>& bytes);
+
+std::vector<std::uint8_t> encode_result_item(const ResultItem& item);
+ResultItem decode_result_item(const std::vector<std::uint8_t>& bytes);
+
+/// Exact wire size of a result for grid (root, lx, ly) — used to cross-check
+/// transport::subsolve_payload_bytes.
+std::size_t result_wire_bytes(int root, int lx, int ly);
+
+}  // namespace mg::mw

@@ -1,0 +1,48 @@
+#include "core/master.hpp"
+
+#include "support/check.hpp"
+
+namespace mg::mw {
+
+void MasterApi::create_pool() { context_.raise(ProtocolEvents::create_pool); }
+
+std::shared_ptr<iwim::Process> MasterApi::create_worker() {
+  context_.raise(ProtocolEvents::create_worker);
+  // "Read a unit containing the process reference of a created worker from
+  // your own input port and activate it" (§4.3 step 3(c)).
+  const iwim::Unit unit = context_.read("input");
+  MG_REQUIRE_MSG(unit.is<iwim::ProcessRef>(), "master input: expected a worker reference");
+  std::shared_ptr<iwim::Process> worker = unit.as<iwim::ProcessRef>().process;
+  worker->activate();
+  return worker;
+}
+
+void MasterApi::send_work(iwim::Unit work) { context_.write(std::move(work), "output"); }
+
+iwim::Unit MasterApi::collect_result() { return context_.read("dataport"); }
+
+void MasterApi::rendezvous() {
+  context_.raise(ProtocolEvents::rendezvous);
+  // "Take a nap" until the coordinator acknowledges (§4.1).
+  context_.await({{ProtocolEvents::a_rendezvous, std::nullopt}});
+}
+
+void MasterApi::finished() { context_.raise(ProtocolEvents::finished); }
+
+std::vector<iwim::PortSpec> master_ports() {
+  return {{"dataport", iwim::Port::Direction::In}};
+}
+
+std::shared_ptr<iwim::AtomicProcess> make_master(
+    iwim::Runtime& runtime, std::string name,
+    std::function<void(MasterApi&, iwim::ProcessContext&)> body) {
+  return runtime.create_process(
+      "Master", std::move(name),
+      [body = std::move(body)](iwim::ProcessContext& ctx) {
+        MasterApi api(ctx);
+        body(api, ctx);
+      },
+      master_ports());
+}
+
+}  // namespace mg::mw

@@ -1,0 +1,56 @@
+// The master's behaviour interface (§4.3) as a typed API.
+//
+// A master is an atomic process (a wrapper around the sequential code minus
+// subsolve) whose interaction with the protocol follows the numbered steps
+// of §4.3.  MasterApi exposes exactly those steps; a master body that only
+// calls them is protocol-compliant by construction.
+#pragma once
+
+#include <memory>
+
+#include "core/protocol.hpp"
+#include "manifold/process.hpp"
+
+namespace mg::mw {
+
+class MasterApi {
+ public:
+  explicit MasterApi(iwim::ProcessContext& context) : context_(context) {}
+
+  /// Step 3(a): request an empty workers-pool (raise create_pool).
+  void create_pool();
+
+  /// Steps 3(b)+(c): request a worker (raise create_worker), read its
+  /// reference from the master's own input port, and activate it.
+  std::shared_ptr<iwim::Process> create_worker();
+
+  /// Step 3(d): write the worker's job description to the master's own
+  /// output port (the coordinator has wired it to the worker's input).
+  void send_work(iwim::Unit work);
+
+  /// Step 3(f): read one computational result from the dataport.
+  iwim::Unit collect_result();
+
+  /// Steps 3(g)+(h): raise rendezvous and wait for a_rendezvous.
+  void rendezvous();
+
+  /// Step 4 (end): raise finished — no more pools needed.
+  void finished();
+
+  iwim::ProcessContext& context() { return context_; }
+
+ private:
+  iwim::ProcessContext& context_;
+};
+
+/// Port set every master must declare (§4.2 line 54: `process master
+/// <input, dataport / output, error>`): the standard ports plus `dataport`.
+std::vector<iwim::PortSpec> master_ports();
+
+/// Creates a master process (kind "Master") with the required ports, whose
+/// body receives a MasterApi.
+std::shared_ptr<iwim::AtomicProcess> make_master(
+    iwim::Runtime& runtime, std::string name,
+    std::function<void(MasterApi&, iwim::ProcessContext&)> body);
+
+}  // namespace mg::mw

@@ -1,0 +1,120 @@
+#include "core/protocol.hpp"
+
+#include <optional>
+
+#include "manifold/state_scope.hpp"
+#include "support/check.hpp"
+
+namespace mg::mw {
+
+using iwim::EventMatcher;
+using iwim::EventOccurrence;
+using iwim::ProcessRef;
+using iwim::StateScope;
+using iwim::StreamType;
+using iwim::Unit;
+
+std::size_t create_worker_pool(iwim::ProcessContext& coordinator, iwim::Process& master,
+                               const WorkerFactory& factory, std::size_t& worker_counter) {
+  iwim::Runtime& runtime = coordinator.runtime();
+
+  // Lines 18-19: `auto process now is variable(0). auto process t is
+  // variable(0).`  Counters for created workers and observed deaths.
+  std::int64_t now = 0;
+  std::int64_t t = 0;
+
+  // The streams of the current create_worker state; replaced (dismantled) on
+  // the next pre-empting event.  BK streams break at the source; the KK
+  // result stream (line 32) survives.
+  std::optional<StateScope> state_streams;
+
+  // Line 23: `priority create_worker > rendezvous.` — matcher order below.
+  const std::vector<EventMatcher> labels = {
+      {ProtocolEvents::create_worker, master.id()},
+      {ProtocolEvents::rendezvous, master.id()},
+  };
+
+  coordinator.trace("begin", "protocol.cpp", __LINE__);  // line 25: MES("begin")
+  for (;;) {
+    // Line 25: the begin state IDLEs until a labelled event pre-empts it.
+    const EventOccurrence occurrence = coordinator.await(labels);
+    state_streams.reset();  // pre-emption dismantles the previous state's streams
+
+    if (occurrence.event == ProtocolEvents::create_worker) {
+      // Lines 27-37: the create_worker state.
+      coordinator.trace("create_worker: begin", "protocol.cpp", __LINE__);  // line 35
+      const std::size_t index = worker_counter++;
+      std::shared_ptr<iwim::Process> worker = factory(runtime, index);  // line 30
+      MG_REQUIRE_MSG(worker != nullptr, "WorkerFactory returned null");
+
+      state_streams.emplace(runtime);
+      // Line 32 + 36 third `->`: worker.output -> master.dataport, type KK.
+      state_streams->connect(worker->port("output"), master.port("dataport"), StreamType::KK);
+      // Line 36 second `->`: master.output -> worker.input (default BK).
+      state_streams->connect(master.port("output"), worker->port("input"), StreamType::BK);
+      // Line 36 first `->`: the worker reference `&worker` flows to master.
+      runtime.send(master.port("input"), Unit::of(ProcessRef{worker}));
+      ++now;  // line 34: `now = now + 1`
+    } else {
+      // Lines 39-47: the rendezvous state — count death_worker events until
+      // every created worker has died.
+      while (t < now) {
+        coordinator.await({{ProtocolEvents::death_worker, std::nullopt}});
+        ++t;  // line 42
+      }
+      // Line 50: MES + raise(a_rendezvous); the manner returns.
+      coordinator.trace("rendezvous acknowledged", "protocol.cpp", __LINE__);
+      coordinator.raise(ProtocolEvents::a_rendezvous);
+      return static_cast<std::size_t>(now);
+    }
+  }
+}
+
+ProtocolStats protocol_mw(iwim::ProcessContext& coordinator,
+                          const std::shared_ptr<iwim::Process>& master, WorkerFactory factory) {
+  MG_REQUIRE(master != nullptr);
+  ProtocolStats stats;
+  std::size_t worker_counter = 0;
+
+  const std::vector<EventMatcher> labels = {
+      {ProtocolEvents::create_pool, master->id()},
+      {ProtocolEvents::finished, master->id()},
+      {iwim::kTerminatedEvent, master->id()},
+  };
+
+  for (;;) {
+    // Line 59: `begin: terminated(master).` — wait for events raised by the
+    // master (or its termination).
+    const EventOccurrence occurrence = coordinator.await(labels);
+    if (occurrence.event == ProtocolEvents::create_pool) {
+      // Line 61: the create_pool state calls Create_Worker_Pool, then posts
+      // begin (the loop continues).
+      stats.workers_created +=
+          create_worker_pool(coordinator, *master, factory, worker_counter);
+      stats.pools_created += 1;
+    } else {
+      // Line 63 (`finished: halt.`) or the master terminated first.
+      return stats;
+    }
+  }
+}
+
+ProtocolStats run_main_program(iwim::Runtime& runtime,
+                               const std::shared_ptr<iwim::Process>& master,
+                               WorkerFactory factory) {
+  MG_REQUIRE(master != nullptr);
+  ProtocolStats stats;
+  // §5 mainprog.m: Main's begin state is ProtocolMW(Master(argv), Worker).
+  auto main = runtime.create_process(
+      "Main", "main", [&stats, master, factory = std::move(factory)](iwim::ProcessContext& ctx) {
+        stats = protocol_mw(ctx, master, factory);
+      });
+  // The master passed to ProtocolMW is "the already active process instance".
+  master->activate();
+  main->activate();
+  main->wait_terminated();
+  master->wait_terminated();
+  return stats;
+}
+
+}  // namespace mg::mw

@@ -1,0 +1,71 @@
+// The generic master/worker coordination protocol — the paper's primary
+// contribution (§4, protocolMW.m).
+//
+// "In MANIFOLD, we can easily realize this master/worker protocol in a
+// generic way, where the master and the worker are parameters of the
+// protocol. ... For the protocol, it is irrelevant to know what kind of
+// computation is performed in the master or the worker."
+//
+// protocol_mw() renders the manner ProtocolMW (lines 54-64) and
+// create_worker_pool() the manner Create_Worker_Pool (lines 12-51).  They
+// run inside a coordinator process's body; the master and the worker factory
+// are parameters, exactly as in the MANIFOLD source.  Comments cite the
+// corresponding protocolMW.m lines.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "manifold/process.hpp"
+#include "manifold/runtime.hpp"
+
+namespace mg::mw {
+
+/// The extern events of the behaviour interface (§4.3 step 1).
+struct ProtocolEvents {
+  static constexpr const char* create_pool = "create_pool";
+  static constexpr const char* create_worker = "create_worker";
+  static constexpr const char* rendezvous = "rendezvous";
+  static constexpr const char* a_rendezvous = "a_rendezvous";
+  static constexpr const char* finished = "finished";
+  static constexpr const char* death_worker = "death_worker";
+};
+
+/// Creates one (not yet activated) worker process.  The paper passes the
+/// Worker manifold as a parameter; we pass its factory.
+using WorkerFactory =
+    std::function<std::shared_ptr<iwim::Process>(iwim::Runtime&, std::size_t index)>;
+
+struct ProtocolStats {
+  std::size_t pools_created = 0;
+  std::size_t workers_created = 0;
+};
+
+/// The manner ProtocolMW (protocolMW.m lines 54-64).  Call from a
+/// coordinator process body; returns when the master raises `finished` (the
+/// `halt` on line 63) or terminates.
+ProtocolStats protocol_mw(iwim::ProcessContext& coordinator,
+                          const std::shared_ptr<iwim::Process>& master, WorkerFactory factory);
+
+/// The manner Create_Worker_Pool (protocolMW.m lines 12-51).  Creates
+/// workers on demand, wires their streams, counts death_worker events at the
+/// rendezvous and raises a_rendezvous.  Returns the number of workers the
+/// pool created.
+std::size_t create_worker_pool(iwim::ProcessContext& coordinator, iwim::Process& master,
+                               const WorkerFactory& factory, std::size_t& worker_counter);
+
+/// Builds and runs the whole §5 main program:
+///
+///   manifold Main(process argv) {
+///     begin: ProtocolMW(Master(argv), Worker).
+///   }
+///
+/// Activates the master, runs a "Main" coordinator executing protocol_mw,
+/// and blocks until both have terminated.  Returns the protocol statistics.
+ProtocolStats run_main_program(iwim::Runtime& runtime,
+                               const std::shared_ptr<iwim::Process>& master,
+                               WorkerFactory factory);
+
+}  // namespace mg::mw

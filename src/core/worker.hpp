@@ -1,0 +1,29 @@
+// The worker's behaviour interface (§4.3) as a factory.
+//
+//   1. Read the information you need to do your job from your own input port.
+//   2. Do the computational job.
+//   3. Write the computed results to your own output port.
+//   4. Raise death_worker: you are done and going to die.
+//
+// make_worker_factory wraps any Unit -> Unit computation in a
+// protocol-compliant worker process ("the master and worker manifolds are
+// easy to write as C wrappers around the original C subroutines", §5).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/protocol.hpp"
+
+namespace mg::mw {
+
+/// The worker's computational job: consumes the work unit, returns the
+/// result unit.  Must not touch shared state (the IWIM black-box rule).
+using WorkFn = std::function<iwim::Unit(const iwim::Unit&)>;
+
+/// Produces a WorkerFactory for protocol_mw / run_main_program.  Each
+/// created worker has kind `kind` (task weights key off it) and name
+/// "<kind><index>".
+WorkerFactory make_worker_factory(WorkFn work, std::string kind = "Worker");
+
+}  // namespace mg::mw

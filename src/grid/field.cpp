@@ -1,0 +1,53 @@
+#include "grid/field.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace mg::grid {
+
+Field::Field(Grid2D grid, double value) : grid_(grid), data_(grid.node_count(), value) {}
+
+void Field::sample(const std::function<double(double, double)>& f) {
+  for (std::size_t j = 0; j < grid_.nodes_y(); ++j) {
+    for (std::size_t i = 0; i < grid_.nodes_x(); ++i) {
+      data_[grid_.node_index(i, j)] = f(grid_.x(i), grid_.y(j));
+    }
+  }
+}
+
+void Field::add_scaled(double alpha, const Field& other) {
+  MG_REQUIRE(grid_ == other.grid_);
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += alpha * other.data_[k];
+}
+
+double Field::max_diff(const Field& other) const {
+  MG_REQUIRE(grid_ == other.grid_);
+  double m = 0.0;
+  for (std::size_t k = 0; k < data_.size(); ++k) m = std::max(m, std::abs(data_[k] - other.data_[k]));
+  return m;
+}
+
+double Field::max_error(const std::function<double(double, double)>& f) const {
+  double m = 0.0;
+  for (std::size_t j = 0; j < grid_.nodes_y(); ++j) {
+    for (std::size_t i = 0; i < grid_.nodes_x(); ++i) {
+      m = std::max(m, std::abs(data_[grid_.node_index(i, j)] - f(grid_.x(i), grid_.y(j))));
+    }
+  }
+  return m;
+}
+
+double Field::l2_error(const std::function<double(double, double)>& f) const {
+  double s = 0.0;
+  for (std::size_t j = 0; j < grid_.nodes_y(); ++j) {
+    for (std::size_t i = 0; i < grid_.nodes_x(); ++i) {
+      const double d = data_[grid_.node_index(i, j)] - f(grid_.x(i), grid_.y(j));
+      s += d * d;
+    }
+  }
+  return std::sqrt(s * grid_.hx() * grid_.hy());
+}
+
+}  // namespace mg::grid

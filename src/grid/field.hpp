@@ -1,0 +1,45 @@
+// Nodal scalar field on a Grid2D — the per-grid slice of the paper's "huge
+// global data structure".
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "grid/grid2d.hpp"
+
+namespace mg::grid {
+
+class Field {
+ public:
+  explicit Field(Grid2D grid, double value = 0.0);
+
+  const Grid2D& grid() const { return grid_; }
+
+  double& at(std::size_t i, std::size_t j) { return data_[grid_.node_index(i, j)]; }
+  double at(std::size_t i, std::size_t j) const { return data_[grid_.node_index(i, j)]; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+  std::size_t size() const { return data_.size(); }
+
+  /// Samples f(x, y) at every node.
+  void sample(const std::function<double(double, double)>& f);
+
+  /// this += alpha * other; grids must be identical.
+  void add_scaled(double alpha, const Field& other);
+
+  /// Max-norm of the difference with another field on the same grid.
+  double max_diff(const Field& other) const;
+
+  /// Max-norm of the difference with a continuous function sampled at nodes.
+  double max_error(const std::function<double(double, double)>& f) const;
+
+  /// L2 (grid-weighted) norm of the difference with a continuous function.
+  double l2_error(const std::function<double(double, double)>& f) const;
+
+ private:
+  Grid2D grid_;
+  std::vector<double> data_;
+};
+
+}  // namespace mg::grid

@@ -1,0 +1,40 @@
+#include "grid/grid2d.hpp"
+
+#include "support/check.hpp"
+
+namespace mg::grid {
+
+namespace {
+std::size_t pow2(int e) {
+  MG_REQUIRE(e >= 0 && e < 40);
+  return std::size_t{1} << e;
+}
+}  // namespace
+
+Grid2D::Grid2D(int root, int lx, int ly)
+    : root_(root), lx_(lx), ly_(ly), cells_x_(pow2(root + lx)), cells_y_(pow2(root + ly)) {
+  MG_REQUIRE(root >= 0);
+  MG_REQUIRE(lx >= 0 && ly >= 0);
+  MG_REQUIRE_MSG(cells_x_ >= 2 && cells_y_ >= 2, "grid must have interior nodes (root >= 1)");
+}
+
+std::size_t Grid2D::node_index(std::size_t i, std::size_t j) const {
+  MG_REQUIRE(i < nodes_x() && j < nodes_y());
+  return j * nodes_x() + i;
+}
+
+std::size_t Grid2D::interior_index(std::size_t i, std::size_t j) const {
+  MG_REQUIRE(i >= 1 && i <= interior_x() && j >= 1 && j <= interior_y());
+  return (j - 1) * interior_x() + (i - 1);
+}
+
+bool Grid2D::is_boundary(std::size_t i, std::size_t j) const {
+  MG_REQUIRE(i < nodes_x() && j < nodes_y());
+  return i == 0 || j == 0 || i == nodes_x() - 1 || j == nodes_y() - 1;
+}
+
+std::string Grid2D::name() const {
+  return "G(" + std::to_string(root_) + ";" + std::to_string(lx_) + "," + std::to_string(ly_) + ")";
+}
+
+}  // namespace mg::grid

@@ -1,0 +1,62 @@
+// Anisotropic structured grids for the sparse-grid combination technique.
+//
+// A grid is identified by two refinement exponents (lx, ly) above a common
+// root level (the paper's `root`, the "refinement level of the coarsest
+// grid"; the authors used root = 2).  Grid (lx, ly) covers the unit square
+// with 2^(root+lx) cells in x and 2^(root+ly) cells in y; fields live on the
+// (nx+1) x (ny+1) vertices.  `subsolve(l, m)` in the paper operates on grid
+// (l, m) in exactly this sense.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace mg::grid {
+
+class Grid2D {
+ public:
+  /// root >= 0, lx >= 0, ly >= 0; cells_x = 2^(root+lx), cells_y = 2^(root+ly).
+  Grid2D(int root, int lx, int ly);
+
+  int root() const { return root_; }
+  int lx() const { return lx_; }
+  int ly() const { return ly_; }
+
+  std::size_t cells_x() const { return cells_x_; }
+  std::size_t cells_y() const { return cells_y_; }
+  std::size_t nodes_x() const { return cells_x_ + 1; }
+  std::size_t nodes_y() const { return cells_y_ + 1; }
+  std::size_t node_count() const { return nodes_x() * nodes_y(); }
+  std::size_t interior_x() const { return cells_x_ - 1; }
+  std::size_t interior_y() const { return cells_y_ - 1; }
+  std::size_t interior_count() const { return interior_x() * interior_y(); }
+
+  double hx() const { return 1.0 / static_cast<double>(cells_x_); }
+  double hy() const { return 1.0 / static_cast<double>(cells_y_); }
+
+  double x(std::size_t i) const { return static_cast<double>(i) * hx(); }
+  double y(std::size_t j) const { return static_cast<double>(j) * hy(); }
+
+  /// Lexicographic node index (x fastest).
+  std::size_t node_index(std::size_t i, std::size_t j) const;
+
+  /// Lexicographic index of interior node (i, j) with 1 <= i <= cells_x-1.
+  std::size_t interior_index(std::size_t i, std::size_t j) const;
+
+  bool is_boundary(std::size_t i, std::size_t j) const;
+
+  bool operator==(const Grid2D& other) const {
+    return root_ == other.root_ && lx_ == other.lx_ && ly_ == other.ly_;
+  }
+
+  std::string name() const;  ///< e.g. "G(2;3,1)"
+
+ private:
+  int root_;
+  int lx_;
+  int ly_;
+  std::size_t cells_x_;
+  std::size_t cells_y_;
+};
+
+}  // namespace mg::grid

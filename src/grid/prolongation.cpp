@@ -1,0 +1,34 @@
+#include "grid/prolongation.hpp"
+
+#include "support/check.hpp"
+
+namespace mg::grid {
+
+Field prolongate(const Field& coarse, const Grid2D& fine_grid) {
+  const Grid2D& cg = coarse.grid();
+  MG_REQUIRE(cg.root() == fine_grid.root());
+  MG_REQUIRE(fine_grid.lx() >= cg.lx() && fine_grid.ly() >= cg.ly());
+
+  const std::size_t rx = std::size_t{1} << (fine_grid.lx() - cg.lx());
+  const std::size_t ry = std::size_t{1} << (fine_grid.ly() - cg.ly());
+
+  Field fine(fine_grid);
+  for (std::size_t j = 0; j < fine_grid.nodes_y(); ++j) {
+    // Coarse cell containing fine row j and the vertical interpolation weight.
+    const std::size_t jc = std::min(j / ry, cg.nodes_y() - 2);
+    const double ty = (static_cast<double>(j) - static_cast<double>(jc * ry)) / static_cast<double>(ry);
+    for (std::size_t i = 0; i < fine_grid.nodes_x(); ++i) {
+      const std::size_t ic = std::min(i / rx, cg.nodes_x() - 2);
+      const double tx = (static_cast<double>(i) - static_cast<double>(ic * rx)) / static_cast<double>(rx);
+      const double v00 = coarse.at(ic, jc);
+      const double v10 = coarse.at(ic + 1, jc);
+      const double v01 = coarse.at(ic, jc + 1);
+      const double v11 = coarse.at(ic + 1, jc + 1);
+      fine.at(i, j) = (1.0 - tx) * (1.0 - ty) * v00 + tx * (1.0 - ty) * v10 +
+                      (1.0 - tx) * ty * v01 + tx * ty * v11;
+    }
+  }
+  return fine;
+}
+
+}  // namespace mg::grid

@@ -1,0 +1,106 @@
+#include "linalg/banded.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/check.hpp"
+
+namespace mg::linalg {
+
+BandedMatrix::BandedMatrix(std::size_t n, std::size_t half_bandwidth)
+    : n_(n), hb_(half_bandwidth), data_(n * (2 * half_bandwidth + 1), 0.0) {
+  MG_REQUIRE(n > 0);
+}
+
+BandedMatrix BandedMatrix::from_csr(const CsrMatrix& a, std::size_t half_bandwidth) {
+  MG_REQUIRE(a.rows() == a.cols());
+  BandedMatrix band(a.rows(), half_bandwidth);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = a.row_ptr()[i]; k < a.row_ptr()[i + 1]; ++k) {
+      const std::size_t j = a.col_idx()[k];
+      MG_REQUIRE_MSG(band.in_band(i, j), "CSR entry outside declared bandwidth");
+      band.set(i, j, a.values()[k]);
+    }
+  }
+  return band;
+}
+
+std::size_t BandedMatrix::idx(std::size_t i, std::size_t j) const {
+  return i * (2 * hb_ + 1) + (j + hb_ - i);
+}
+
+bool BandedMatrix::in_band(std::size_t i, std::size_t j) const {
+  return (j + hb_ >= i) && (j <= i + hb_) && i < n_ && j < n_;
+}
+
+double BandedMatrix::at(std::size_t i, std::size_t j) const {
+  MG_REQUIRE(i < n_ && j < n_);
+  if (!in_band(i, j)) return 0.0;
+  return data_[idx(i, j)];
+}
+
+void BandedMatrix::set(std::size_t i, std::size_t j, double value) {
+  MG_REQUIRE(in_band(i, j));
+  data_[idx(i, j)] = value;
+}
+
+void BandedMatrix::add(std::size_t i, std::size_t j, double value) {
+  MG_REQUIRE(in_band(i, j));
+  data_[idx(i, j)] += value;
+}
+
+void BandedMatrix::multiply(const Vec& x, Vec& y) const {
+  MG_REQUIRE(x.size() == n_);
+  MG_REQUIRE_MSG(!factorized_, "multiply() after factorize() would use LU factors");
+  y.assign(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j_lo = i >= hb_ ? i - hb_ : 0;
+    const std::size_t j_hi = std::min(n_ - 1, i + hb_);
+    double s = 0.0;
+    for (std::size_t j = j_lo; j <= j_hi; ++j) s += data_[idx(i, j)] * x[j];
+    y[i] = s;
+  }
+}
+
+void BandedMatrix::factorize() {
+  MG_REQUIRE(!factorized_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double pivot = data_[idx(k, k)];
+    if (std::abs(pivot) < 1e-300) {
+      throw std::runtime_error("BandedMatrix::factorize: zero pivot at row " + std::to_string(k));
+    }
+    const std::size_t i_hi = std::min(n_ - 1, k + hb_);
+    for (std::size_t i = k + 1; i <= i_hi; ++i) {
+      const double l = data_[idx(i, k)] / pivot;
+      data_[idx(i, k)] = l;
+      const std::size_t j_hi = std::min(n_ - 1, k + hb_);
+      for (std::size_t j = k + 1; j <= j_hi; ++j) {
+        data_[idx(i, j)] -= l * data_[idx(k, j)];
+      }
+    }
+  }
+  factorized_ = true;
+}
+
+void BandedMatrix::solve(const Vec& b, Vec& x) const {
+  MG_REQUIRE(factorized_);
+  MG_REQUIRE(b.size() == n_);
+  x = b;
+  // Forward substitution with unit lower factor.
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j_lo = i >= hb_ ? i - hb_ : 0;
+    double s = x[i];
+    for (std::size_t j = j_lo; j < i; ++j) s -= data_[idx(i, j)] * x[j];
+    x[i] = s;
+  }
+  // Back substitution with upper factor.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    const std::size_t j_hi = std::min(n_ - 1, ii + hb_);
+    double s = x[ii];
+    for (std::size_t j = ii + 1; j <= j_hi; ++j) s -= data_[idx(ii, j)] * x[j];
+    x[ii] = s / data_[idx(ii, ii)];
+  }
+}
+
+}  // namespace mg::linalg

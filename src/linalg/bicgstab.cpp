@@ -1,0 +1,81 @@
+#include "linalg/bicgstab.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace mg::linalg {
+
+SolveReport bicgstab(const CsrMatrix& a, const Vec& b, Vec& x, const Preconditioner& m,
+                     const SolveOptions& opts) {
+  MG_REQUIRE(a.rows() == a.cols());
+  MG_REQUIRE(b.size() == a.rows());
+  const std::size_t n = a.rows();
+  if (x.size() != n) x.assign(n, 0.0);
+
+  SolveReport report;
+  const double bnorm = norm2(b);
+  const double target = std::max(opts.abs_tol, opts.rel_tol * bnorm);
+
+  Vec r(n), r0(n), p(n, 0.0), v(n, 0.0), s(n), t(n), phat(n), shat(n), tmp(n);
+  a.residual(b, x, r);
+  r0 = r;
+  double rnorm = norm2(r);
+  if (rnorm <= target) {
+    report.converged = true;
+    report.residual_norm = rnorm;
+    return report;
+  }
+
+  double rho_prev = 1.0, alpha = 1.0, omega = 1.0;
+  for (std::size_t it = 1; it <= opts.max_iter; ++it) {
+    const double rho = dot(r0, r);
+    if (std::abs(rho) < 1e-300) break;  // breakdown
+    if (it == 1) {
+      p = r;
+    } else {
+      const double beta = (rho / rho_prev) * (alpha / omega);
+      // p = r + beta * (p - omega * v)
+      for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * (p[i] - omega * v[i]);
+    }
+    m.apply(p, phat);
+    a.multiply(phat, v);
+    const double r0v = dot(r0, v);
+    if (std::abs(r0v) < 1e-300) break;  // breakdown
+    alpha = rho / r0v;
+    for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
+    if (norm2(s) <= target) {
+      axpy(alpha, phat, x);
+      a.residual(b, x, tmp);
+      report.converged = true;
+      report.iterations = it;
+      report.residual_norm = norm2(tmp);
+      return report;
+    }
+    m.apply(s, shat);
+    a.multiply(shat, t);
+    const double tt = dot(t, t);
+    if (tt < 1e-300) break;  // breakdown
+    omega = dot(t, s) / tt;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * phat[i] + omega * shat[i];
+      r[i] = s[i] - omega * t[i];
+    }
+    rnorm = norm2(r);
+    report.iterations = it;
+    if (rnorm <= target) {
+      a.residual(b, x, tmp);
+      report.converged = true;
+      report.residual_norm = norm2(tmp);
+      return report;
+    }
+    if (std::abs(omega) < 1e-300) break;  // breakdown
+    rho_prev = rho;
+  }
+  a.residual(b, x, tmp);
+  report.residual_norm = norm2(tmp);
+  report.converged = report.residual_norm <= target;
+  return report;
+}
+
+}  // namespace mg::linalg

@@ -1,0 +1,60 @@
+#include "manifold/builtins.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "support/check.hpp"
+
+namespace mg::iwim {
+
+struct Variable::State {
+  mutable std::mutex mutex;
+  Unit value;
+};
+
+Variable::Variable(Runtime& runtime, std::string name, Unit initial)
+    : state_(std::make_shared<State>()) {
+  state_->value = std::move(initial);
+  auto state = state_;
+  process_ = runtime.create_process("variable", std::move(name), [state](ProcessContext& ctx) {
+    // Store every unit arriving on the input port until shutdown.
+    for (;;) {
+      Unit u = ctx.read("input");  // throws ShutdownSignal at runtime teardown
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->value = std::move(u);
+    }
+  });
+  process_->activate();
+}
+
+Unit Variable::value() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->value;
+}
+
+std::int64_t Variable::as_int() const { return value().as<std::int64_t>(); }
+
+void Variable::assign(Unit unit) { process_->port("input").deposit(std::move(unit)); }
+
+PrinterHandle make_printer(Runtime& runtime, std::string name) {
+  auto printed = std::make_shared<std::atomic<std::size_t>>(0);
+  auto process = runtime.create_process("printer", std::move(name), [printed](ProcessContext& ctx) {
+    for (;;) {
+      Unit u = ctx.read("input");
+      std::string text = "unit";
+      if (u.is<std::string>()) {
+        text = u.as<std::string>();
+      } else if (u.is<std::int64_t>()) {
+        text = std::to_string(u.as<std::int64_t>());
+      } else if (u.is<double>()) {
+        text = std::to_string(u.as<double>());
+      }
+      ctx.trace(text, "builtins.cpp", __LINE__);
+      printed->fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  process->activate();
+  return {std::move(process), std::move(printed)};
+}
+
+}  // namespace mg::iwim

@@ -1,0 +1,54 @@
+// Built-in / predefined processes (the MBL library analogues).
+//
+// MANIFOLD "obviously only knows processes; there are no data structures in
+// MANIFOLD, not even the simplest kind, a variable" — counters like the
+// protocol's `now` and `t` are instances of the predefined manifold
+// `variable`.  The embedded DSL can use plain C++ locals inside manner
+// functions, but Variable is provided for fidelity and for coordinator code
+// that wants observable, stream-connectable state.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "manifold/process.hpp"
+#include "manifold/runtime.hpp"
+
+namespace mg::iwim {
+
+/// The predefined `variable` manifold: holds the last unit written to its
+/// input port; the current value can be read synchronously.  Runs until
+/// runtime shutdown (like `void`, it never terminates on its own).
+class Variable {
+ public:
+  /// Creates and activates a variable process initialised with `initial`.
+  Variable(Runtime& runtime, std::string name, Unit initial);
+
+  /// Current value (thread-safe snapshot).
+  Unit value() const;
+
+  /// Convenience for integer counters (the protocol's now/t).
+  std::int64_t as_int() const;
+
+  /// Assign a new value (writes a unit to the variable's input port).
+  void assign(Unit unit);
+
+  Process& process() { return *process_; }
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+  std::shared_ptr<AtomicProcess> process_;
+};
+
+/// Creates and activates a printer process: every unit arriving on its input
+/// port is traced (paper-style) and counted.  Used by tests and examples.
+struct PrinterHandle {
+  std::shared_ptr<AtomicProcess> process;
+  std::shared_ptr<std::atomic<std::size_t>> printed;
+};
+
+PrinterHandle make_printer(Runtime& runtime, std::string name);
+
+}  // namespace mg::iwim

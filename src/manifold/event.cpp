@@ -1,0 +1,82 @@
+#include "manifold/event.hpp"
+
+#include <algorithm>
+
+namespace mg::iwim {
+
+void EventMemory::deposit(EventOccurrence occurrence) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    occurrences_.push_back(std::move(occurrence));
+  }
+  cv_.notify_all();
+}
+
+std::optional<EventOccurrence> EventMemory::take_locked(const std::vector<EventMatcher>& matchers) {
+  // Matcher order is priority order; within one matcher, FIFO.
+  for (const auto& m : matchers) {
+    for (auto it = occurrences_.begin(); it != occurrences_.end(); ++it) {
+      if (m.matches(*it)) {
+        EventOccurrence found = std::move(*it);
+        occurrences_.erase(it);
+        return found;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+EventOccurrence EventMemory::await(const std::vector<EventMatcher>& matchers) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (auto found = take_locked(matchers)) return std::move(*found);
+    if (stopping_) throw ShutdownSignal{};
+    cv_.wait(lock);
+  }
+}
+
+std::optional<EventOccurrence> EventMemory::await_for(const std::vector<EventMatcher>& matchers,
+                                                      std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (auto found = take_locked(matchers)) return found;
+    if (stopping_) throw ShutdownSignal{};
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return take_locked(matchers);
+    }
+  }
+}
+
+std::optional<EventOccurrence> EventMemory::try_take(const std::vector<EventMatcher>& matchers) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return take_locked(matchers);
+}
+
+std::size_t EventMemory::count(const EventMatcher& matcher) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::size_t>(std::count_if(
+      occurrences_.begin(), occurrences_.end(),
+      [&](const EventOccurrence& o) { return matcher.matches(o); }));
+}
+
+std::size_t EventMemory::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return occurrences_.size();
+}
+
+void EventMemory::purge(const std::string& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::erase_if(occurrences_, [&](const EventOccurrence& o) { return o.event == event; });
+}
+
+void EventMemory::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace mg::iwim

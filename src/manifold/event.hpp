@@ -1,0 +1,82 @@
+// Events and per-process event memory (the IWIM control plane).
+//
+// A process `raise`s an event; the occurrence is broadcast and lands in the
+// event memory of every process in the application.  A state machine (or any
+// process) `await`s a set of labels: the first stored occurrence matching
+// one of them — matchers earlier in the list take priority, the paper's
+// `priority create_worker > rendezvous` declarative — is removed and
+// returned.  Unmatched occurrences stay in memory (MANIFOLD's `save *`);
+// `purge` implements the `ignore` declarative.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mg::iwim {
+
+/// Built-in event name broadcast by the runtime when a process terminates;
+/// awaiting it renders MANIFOLD's `terminated(p)` primitive.
+inline constexpr const char* kTerminatedEvent = ".terminated";
+
+struct EventOccurrence {
+  std::string event;
+  std::uint64_t source = 0;  ///< id of the raising process (0 = runtime)
+  std::string source_name;
+};
+
+/// A state label: an event name, optionally restricted to one source.
+struct EventMatcher {
+  std::string event;
+  std::optional<std::uint64_t> source;
+
+  bool matches(const EventOccurrence& o) const {
+    return o.event == event && (!source || *source == o.source);
+  }
+};
+
+/// Thrown out of blocking waits when the runtime shuts down.
+struct ShutdownSignal {};
+
+class EventMemory {
+ public:
+  /// Stores an occurrence and wakes waiters.  No-op after stop().
+  void deposit(EventOccurrence occurrence);
+
+  /// Blocks until an occurrence matches one of the matchers; matcher order is
+  /// priority order.  Throws ShutdownSignal on runtime shutdown.
+  EventOccurrence await(const std::vector<EventMatcher>& matchers);
+
+  /// Like await() with a deadline; nullopt on timeout.
+  std::optional<EventOccurrence> await_for(const std::vector<EventMatcher>& matchers,
+                                           std::chrono::milliseconds timeout);
+
+  /// Non-blocking take.
+  std::optional<EventOccurrence> try_take(const std::vector<EventMatcher>& matchers);
+
+  /// Number of stored occurrences matching the matcher.
+  std::size_t count(const EventMatcher& matcher) const;
+
+  std::size_t size() const;
+
+  /// Removes all stored occurrences of the named event (`ignore`).
+  void purge(const std::string& event);
+
+  /// Wakes all waiters with ShutdownSignal; further deposits are dropped.
+  void stop();
+
+ private:
+  std::optional<EventOccurrence> take_locked(const std::vector<EventMatcher>& matchers);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<EventOccurrence> occurrences_;
+  bool stopping_ = false;
+};
+
+}  // namespace mg::iwim

@@ -1,0 +1,572 @@
+#include "manifold/minilang.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace mg::iwim::minilang {
+
+const State* Block::find_state(const std::string& label) const {
+  for (const auto& s : states) {
+    if (s.label == label) return &s;
+  }
+  return nullptr;
+}
+
+bool Block::has_declarative(Declarative::Kind kind) const {
+  for (const auto& d : declaratives) {
+    if (d.kind == kind) return true;
+  }
+  return false;
+}
+
+const Definition* Program::find(const std::string& name) const {
+  for (const auto& d : definitions) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// ---- preprocessing ---------------------------------------------------------
+
+struct Preprocessed {
+  std::string text;  // directives and comments blanked, newlines preserved
+  std::vector<std::string> includes;
+  std::map<std::string, std::string> macros;
+};
+
+Preprocessed preprocess(const std::string& source) {
+  Preprocessed out;
+  // Strip /* */ and // comments, preserving newlines for line numbers.
+  std::string stripped;
+  stripped.reserve(source.size());
+  for (std::size_t i = 0; i < source.size();) {
+    if (source.compare(i, 2, "/*") == 0) {
+      i += 2;
+      while (i < source.size() && source.compare(i, 2, "*/") != 0) {
+        if (source[i] == '\n') stripped.push_back('\n');
+        ++i;
+      }
+      i = std::min(source.size(), i + 2);
+    } else if (source.compare(i, 2, "//") == 0) {
+      while (i < source.size() && source[i] != '\n') ++i;
+    } else if (source[i] == '"') {
+      stripped.push_back(source[i++]);
+      while (i < source.size() && source[i] != '"') stripped.push_back(source[i++]);
+      if (i < source.size()) stripped.push_back(source[i++]);
+    } else {
+      stripped.push_back(source[i++]);
+    }
+  }
+  // Directive lines.
+  std::istringstream lines(stripped);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto first = line.find_first_not_of(" \t");
+    if (first != std::string::npos && line[first] == '#') {
+      std::istringstream ls(line.substr(first + 1));
+      std::string directive;
+      ls >> directive;
+      if (directive == "include") {
+        std::string rest;
+        std::getline(ls, rest);
+        const auto open = rest.find('"');
+        const auto close = rest.rfind('"');
+        if (open != std::string::npos && close > open) {
+          out.includes.push_back(rest.substr(open + 1, close - open - 1));
+        }
+      } else if (directive == "define") {
+        std::string name, expansion;
+        ls >> name;
+        std::getline(ls, expansion);
+        const auto start = expansion.find_first_not_of(" \t");
+        out.macros[name] = start == std::string::npos ? "" : expansion.substr(start);
+      }
+      out.text.append(line.size(), ' ');
+    } else {
+      out.text += line;
+    }
+    out.text.push_back('\n');
+  }
+  // Whole-word macro substitution.
+  for (const auto& [name, expansion] : out.macros) {
+    std::string result;
+    result.reserve(out.text.size());
+    for (std::size_t i = 0; i < out.text.size();) {
+      const bool boundary_before =
+          i == 0 || (!std::isalnum(static_cast<unsigned char>(out.text[i - 1])) &&
+                     out.text[i - 1] != '_');
+      if (boundary_before && out.text.compare(i, name.size(), name) == 0) {
+        const std::size_t after = i + name.size();
+        const bool boundary_after =
+            after >= out.text.size() ||
+            (!std::isalnum(static_cast<unsigned char>(out.text[after])) &&
+             out.text[after] != '_');
+        if (boundary_after) {
+          result += expansion;
+          i = after;
+          continue;
+        }
+      }
+      result.push_back(out.text[i++]);
+    }
+    out.text = std::move(result);
+  }
+  return out;
+}
+
+// ---- lexing ------------------------------------------------------------------
+
+struct Token {
+  enum class Kind { Ident, Number, String, Symbol, End };
+  Kind kind = Kind::End;
+  std::string text;
+  std::size_t line = 1;
+
+  bool is(const char* symbol) const { return kind == Kind::Symbol && text == symbol; }
+  bool is_ident(const char* word) const { return kind == Kind::Ident && text == word; }
+};
+
+std::vector<Token> lex(const std::string& text) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < text.size();) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[j])) || text[j] == '_')) {
+        ++j;
+      }
+      tokens.push_back({Token::Kind::Ident, text.substr(i, j - i), line});
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < text.size() && (std::isdigit(static_cast<unsigned char>(text[j])))) ++j;
+      tokens.push_back({Token::Kind::Number, text.substr(i, j - i), line});
+      i = j;
+    } else if (c == '"') {
+      std::size_t j = i + 1;
+      while (j < text.size() && text[j] != '"') ++j;
+      if (j >= text.size()) throw SyntaxError(line, "unterminated string");
+      tokens.push_back({Token::Kind::String, text.substr(i + 1, j - i - 1), line});
+      i = j + 1;
+    } else if (text.compare(i, 2, "->") == 0) {
+      tokens.push_back({Token::Kind::Symbol, "->", line});
+      i += 2;
+    } else if (std::string("{}().,;:>=&*<|+-/").find(c) != std::string::npos) {
+      tokens.push_back({Token::Kind::Symbol, std::string(1, c), line});
+      ++i;
+    } else {
+      throw SyntaxError(line, std::string("unexpected character '") + c + "'");
+    }
+  }
+  tokens.push_back({Token::Kind::End, "", line});
+  return tokens;
+}
+
+// ---- parsing -------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Program parse(Preprocessed pre) {
+    Program program;
+    program.includes = std::move(pre.includes);
+    program.macros = std::move(pre.macros);
+    while (peek().kind != Token::Kind::End) {
+      program.definitions.push_back(parse_definition());
+    }
+    return program;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+  }
+  const Token& next() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw SyntaxError(peek().line, message + " (near '" + peek().text + "')");
+  }
+
+  void expect_symbol(const char* symbol) {
+    if (!peek().is(symbol)) fail(std::string("expected '") + symbol + "'");
+    next();
+  }
+
+  std::string expect_ident() {
+    if (peek().kind != Token::Kind::Ident) fail("expected an identifier");
+    return next().text;
+  }
+
+  // Raw token capture until a top-level occurrence of one of `stops`.
+  std::string capture_raw(std::initializer_list<const char*> stops) {
+    std::string out;
+    int depth = 0;
+    for (;;) {
+      const Token& t = peek();
+      if (t.kind == Token::Kind::End) fail("unexpected end of input");
+      if (depth == 0) {
+        for (const char* s : stops) {
+          if (t.is(s)) return out;
+        }
+      }
+      if (t.is("(") || t.is("{")) ++depth;
+      if (t.is(")") || t.is("}")) {
+        if (depth == 0) return out;
+        --depth;
+      }
+      if (!out.empty()) out += ' ';
+      out += t.text;
+      next();
+    }
+  }
+
+  std::vector<std::string> split_args(const std::string& raw) {
+    std::vector<std::string> args;
+    std::string current;
+    int depth = 0;
+    // raw is space-joined tokens; re-split on top-level commas.  Port-set
+    // brackets `<input, dataport | output, error>` also nest.
+    for (char c : raw) {
+      if (c == '(' || c == '<') ++depth;
+      if (c == ')' || c == '>') --depth;
+      if (c == ',' && depth == 0) {
+        args.push_back(trim(current));
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    if (!trim(current).empty()) args.push_back(trim(current));
+    return args;
+  }
+
+  static std::string trim(const std::string& s) {
+    const auto a = s.find_first_not_of(' ');
+    if (a == std::string::npos) return "";
+    const auto b = s.find_last_not_of(' ');
+    return s.substr(a, b - a + 1);
+  }
+
+  // ---- definitions ----
+
+  Definition parse_definition() {
+    Definition def;
+    if (peek().is_ident("export")) {
+      def.exported = true;
+      next();
+    }
+    if (peek().is_ident("manner")) {
+      def.kind = Definition::Kind::Manner;
+    } else if (peek().is_ident("manifold")) {
+      def.kind = Definition::Kind::Manifold;
+    } else {
+      fail("expected 'manner' or 'manifold'");
+    }
+    next();
+    def.name = expect_ident();
+    if (peek().is("(")) {
+      next();
+      const std::string raw = capture_raw({")"});
+      expect_symbol(")");
+      def.parameters = split_args(raw);
+    }
+    // Trailer: port declarations, 'atomic', a body block, or a bare '.'.
+    for (;;) {
+      if (peek().is_ident("port")) {
+        next();
+        PortDecl port;
+        if (peek().is_ident("in")) {
+          port.is_input = true;
+        } else if (peek().is_ident("out")) {
+          port.is_input = false;
+        } else {
+          fail("expected 'in' or 'out'");
+        }
+        next();
+        port.name = expect_ident();
+        expect_symbol(".");
+        def.ports.push_back(port);
+      } else if (peek().is_ident("atomic")) {
+        next();
+        def.atomic = true;
+        if (peek().is("{")) parse_atomic_block(def);
+        expect_symbol(".");
+        return def;
+      } else if (peek().is("{")) {
+        def.body = std::make_shared<Block>(parse_block());
+        return def;
+      } else if (peek().is(".")) {
+        next();
+        return def;
+      } else {
+        fail("unexpected token in definition trailer");
+      }
+    }
+  }
+
+  void parse_atomic_block(Definition& def) {
+    expect_symbol("{");
+    while (!peek().is("}")) {
+      if (peek().is_ident("event")) {
+        next();
+        def.events.push_back(expect_ident());
+        while (peek().is(",")) {
+          next();
+          def.events.push_back(expect_ident());
+        }
+      } else if (peek().kind == Token::Kind::End) {
+        fail("unterminated atomic block");
+      } else {
+        next();  // 'internal.', separators, and other attributes are recorded nowhere
+      }
+    }
+    expect_symbol("}");
+  }
+
+  // ---- blocks ----
+
+  Block parse_block() {
+    expect_symbol("{");
+    Block block;
+    while (!peek().is("}")) {
+      if (peek().kind == Token::Kind::End) fail("unterminated block");
+      if (is_declarative_keyword()) {
+        block.declaratives.push_back(parse_declarative());
+      } else if (peek().kind == Token::Kind::Ident && peek(1).is(":")) {
+        block.states.push_back(parse_state());
+      } else {
+        fail("expected a declarative or a state label");
+      }
+    }
+    expect_symbol("}");
+    return block;
+  }
+
+  bool is_declarative_keyword() const {
+    if (peek().kind != Token::Kind::Ident) return peek().is("*") || false;
+    const std::string& w = peek().text;
+    if (w == "save" || w == "ignore" || w == "hold" || w == "event" || w == "priority" ||
+        w == "auto" || w == "stream") {
+      return true;
+    }
+    // `process x is Y(...)` vs a state labelled `process:` — look at peek(1).
+    if (w == "process") return !peek(1).is(":");
+    return false;
+  }
+
+  Declarative parse_declarative() {
+    Declarative d{};
+    const std::string word = expect_ident();
+    if (word == "save") {
+      d.kind = Declarative::Kind::SaveAll;
+      if (peek().is("*")) {
+        next();
+      } else {
+        d.names.push_back(expect_ident());
+      }
+    } else if (word == "ignore") {
+      d.kind = Declarative::Kind::Ignore;
+      d.names.push_back(expect_ident());
+    } else if (word == "hold") {
+      d.kind = Declarative::Kind::Hold;
+      d.names.push_back(expect_ident());
+    } else if (word == "event") {
+      d.kind = Declarative::Kind::Event;
+      d.names.push_back(expect_ident());
+      while (peek().is(",")) {
+        next();
+        d.names.push_back(expect_ident());
+      }
+    } else if (word == "priority") {
+      d.kind = Declarative::Kind::Priority;
+      d.names.push_back(expect_ident());
+      expect_symbol(">");
+      d.names.push_back(expect_ident());
+    } else if (word == "auto" || word == "process") {
+      d.kind = word == "auto" ? Declarative::Kind::AutoProcess : Declarative::Kind::Process;
+      if (word == "auto") {
+        if (!peek().is_ident("process")) fail("expected 'process' after 'auto'");
+        next();
+      }
+      d.names.push_back(expect_ident());
+      if (!peek().is_ident("is")) fail("expected 'is'");
+      next();
+      d.manifold = expect_ident();
+      if (peek().is("(")) {
+        next();
+        d.args = split_args(capture_raw({")"}));
+        expect_symbol(")");
+      }
+    } else if (word == "stream") {
+      d.kind = Declarative::Kind::Stream;
+      d.chain.type = expect_ident();  // KK / BK / ...
+      d.chain.endpoints.push_back(parse_endpoint());
+      while (peek().is("->")) {
+        next();
+        d.chain.endpoints.push_back(parse_endpoint());
+      }
+    } else {
+      fail("unknown declarative '" + word + "'");
+    }
+    expect_symbol(".");
+    return d;
+  }
+
+  StreamEndpoint parse_endpoint() {
+    StreamEndpoint endpoint;
+    if (peek().is("&")) {
+      endpoint.is_reference = true;
+      next();
+    }
+    endpoint.process = expect_ident();
+    // `.port` qualifier: only when followed by an identifier that is not a
+    // state label (label idents are followed by ':').
+    if (peek().is(".") && peek(1).kind == Token::Kind::Ident && !peek(2).is(":")) {
+      next();
+      endpoint.port = expect_ident();
+    }
+    return endpoint;
+  }
+
+  // ---- states and actions ----
+
+  State parse_state() {
+    State state;
+    state.label = expect_ident();
+    expect_symbol(":");
+    state.actions = parse_action_sequence();
+    expect_symbol(".");
+    return state;
+  }
+
+  /// `;`-separated sequence of action items (a state body).
+  std::vector<Action> parse_action_sequence() {
+    std::vector<Action> actions;
+    actions.push_back(parse_action_item());
+    while (peek().is(";")) {
+      next();
+      actions.push_back(parse_action_item());
+    }
+    return actions;
+  }
+
+  Action parse_action_item() {
+    if (peek().is("{")) {
+      Action a{};
+      a.kind = Action::Kind::Block;
+      a.block = std::make_shared<Block>(parse_block());
+      return a;
+    }
+    if (peek().is("(")) {
+      next();
+      Action a{};
+      a.kind = Action::Kind::Tuple;
+      a.children.push_back(parse_action_item());
+      while (peek().is(",")) {
+        next();
+        a.children.push_back(parse_action_item());
+      }
+      expect_symbol(")");
+      return a;
+    }
+    return parse_simple_action();
+  }
+
+  Action parse_simple_action() {
+    Action a{};
+    if (peek().is("&") ||
+        (peek().kind == Token::Kind::Ident && (peek(1).is("->") ||
+                                               (peek(1).is(".") && peek(3).is("->"))))) {
+      // A stream-construction chain.
+      a.kind = Action::Kind::Streams;
+      a.chain.endpoints.push_back(parse_endpoint());
+      while (peek().is("->")) {
+        next();
+        a.chain.endpoints.push_back(parse_endpoint());
+      }
+      return a;
+    }
+    const std::string word = expect_ident();
+    if (word == "halt") {
+      a.kind = Action::Kind::Halt;
+    } else if (word == "preemptall") {
+      a.kind = Action::Kind::Preemptall;
+    } else if (word == "raise" || word == "post" || word == "terminated" || word == "MES") {
+      a.kind = word == "raise" ? Action::Kind::Raise
+               : word == "post" ? Action::Kind::Post
+               : word == "terminated" ? Action::Kind::Terminated
+                                      : Action::Kind::Message;
+      expect_symbol("(");
+      if (peek().kind == Token::Kind::String) {
+        a.argument = next().text;
+      } else {
+        a.argument = capture_raw({")"});
+      }
+      expect_symbol(")");
+    } else if (word == "if") {
+      a.kind = Action::Kind::If;
+      expect_symbol("(");
+      a.expression = capture_raw({")"});
+      expect_symbol(")");
+      if (!peek().is_ident("then")) fail("expected 'then'");
+      next();
+      Action then_branch = parse_branch_group();
+      a.children.push_back(std::move(then_branch));
+      if (peek().is_ident("else")) {
+        next();
+        a.children.push_back(parse_branch_group());
+      }
+    } else if (peek().is("=")) {
+      next();
+      a.kind = Action::Kind::Assignment;
+      a.argument = word;
+      a.expression = capture_raw({";", ",", ")", "."});
+    } else if (peek().is("(")) {
+      next();
+      a.kind = Action::Kind::Call;
+      a.argument = word;
+      a.args = split_args(capture_raw({")"}));
+      expect_symbol(")");
+    } else {
+      fail("cannot parse action starting with '" + word + "'");
+    }
+    return a;
+  }
+
+  /// then/else branch: `{ actions }` treated as a tuple group, or one action.
+  Action parse_branch_group() {
+    if (peek().is("{")) {
+      next();
+      Action group{};
+      group.kind = Action::Kind::Tuple;
+      group.children = parse_action_sequence();
+      expect_symbol("}");
+      return group;
+    }
+    return parse_action_item();
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse_program(const std::string& source) {
+  Preprocessed pre = preprocess(source);
+  Parser parser(lex(pre.text));
+  return parser.parse(std::move(pre));
+}
+
+}  // namespace mg::iwim::minilang

@@ -1,0 +1,148 @@
+// A front-end for the MANIFOLD coordination language — the syntax layer of
+// the paper's `Mc` compiler, scoped to the constructs its published sources
+// (protocolMW.m, mainprog.m) use.
+//
+// The parser produces a structured AST: manner/manifold definitions with
+// parameters and port declarations, blocks with declaratives (save / ignore /
+// hold / event / priority / auto process / process / stream) and labelled
+// states whose bodies are sequences of tuples, nested blocks, primitive
+// actions (raise / post / halt / preemptall / terminated / MES), manner
+// calls, variable assignments, if/then/else, and stream-construction chains
+// (`&worker -> master -> worker -> master.dataport`).
+//
+// Execution semantics live in the embedded C++ DSL (src/core/protocol.cpp);
+// this front-end exists so the published .m artifacts can be loaded,
+// validated, and cross-checked against the implementation structurally
+// (tests/test_minilang.cpp) instead of by string matching.
+//
+// Preprocessing: `#include` lines are recorded and skipped; single-line
+// `#define NAME expansion` macros are expanded by whole-word substitution
+// (enough for the protocol's `#define IDLE terminated(void)`).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mg::iwim::minilang {
+
+class SyntaxError : public std::runtime_error {
+ public:
+  SyntaxError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message), line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+// ---- AST -------------------------------------------------------------------
+
+/// One end of a stream: an optional reference marker (&x), a process name
+/// and an optional port ("master.dataport").
+struct StreamEndpoint {
+  bool is_reference = false;
+  std::string process;
+  std::string port;  ///< empty = default port
+};
+
+/// A chain `a -> b -> c.d`; `type` is set for `stream KK ...` declaratives
+/// and empty (default BK) for chains inside state bodies.
+struct StreamChain {
+  std::string type;  ///< "", "KK", "BK", ...
+  std::vector<StreamEndpoint> endpoints;
+};
+
+struct Block;
+
+struct Action {
+  enum class Kind {
+    Raise,        ///< raise(event)         — argument = event
+    Post,         ///< post(event)          — argument = event
+    Halt,         ///< halt
+    Preemptall,   ///< preemptall
+    Terminated,   ///< terminated(x)        — argument = x
+    Message,      ///< MES("text")          — argument = text
+    Streams,      ///< a stream chain       — chain
+    Call,         ///< Manner(arg, ...)     — argument = name, args
+    Assignment,   ///< x = <expr>           — argument = x, expression
+    If,           ///< if (cond) then A else B
+    Block,        ///< nested block as a state body
+    Tuple,        ///< (a, b, c)            — children
+  };
+
+  Kind kind;
+  std::string argument;
+  std::string expression;               ///< raw right-hand side / condition text
+  std::vector<std::string> args;        ///< call arguments (raw)
+  StreamChain chain;
+  std::vector<Action> children;         ///< tuple members; if: then at [0], else at [1]
+  std::shared_ptr<Block> block;         ///< for Kind::Block
+};
+
+struct Declarative {
+  enum class Kind {
+    SaveAll,      ///< save *.
+    Ignore,       ///< ignore x.
+    Hold,         ///< hold x.
+    Event,        ///< event a, b.           — names
+    Priority,     ///< priority a > b.       — names[0] > names[1]
+    AutoProcess,  ///< auto process x is Y(args).
+    Process,      ///< process x is Y(args).
+    Stream,       ///< stream KK a -> b.c.
+  };
+
+  Kind kind;
+  std::vector<std::string> names;
+  std::string manifold;           ///< for (Auto)Process: the manifold instantiated
+  std::vector<std::string> args;  ///< for (Auto)Process: constructor args (raw)
+  StreamChain chain;              ///< for Stream
+};
+
+/// A labelled state: `label: <body>.`  The body is a sequence of actions
+/// (the `;` separated steps, e.g. `Create_Worker_Pool(...); post(begin)`).
+struct State {
+  std::string label;
+  std::vector<Action> actions;
+};
+
+struct Block {
+  std::vector<Declarative> declaratives;
+  std::vector<State> states;
+
+  const State* find_state(const std::string& label) const;
+  bool has_declarative(Declarative::Kind kind) const;
+};
+
+struct PortDecl {
+  std::string name;
+  bool is_input = true;
+};
+
+struct Definition {
+  enum class Kind { Manner, Manifold };
+  Kind kind;
+  bool exported = false;
+  bool atomic = false;
+  std::string name;
+  std::vector<std::string> parameters;  ///< raw parameter texts
+  std::vector<PortDecl> ports;          ///< trailing `port in x.` declarations
+  std::vector<std::string> events;      ///< events named in an atomic {...} block
+  std::shared_ptr<Block> body;          ///< null for atomic declarations
+};
+
+struct Program {
+  std::vector<std::string> includes;
+  std::map<std::string, std::string> macros;
+  std::vector<Definition> definitions;
+
+  const Definition* find(const std::string& name) const;
+};
+
+/// Parses MANIFOLD source text.  Throws SyntaxError with a line number.
+Program parse_program(const std::string& source);
+
+}  // namespace mg::iwim::minilang

@@ -1,0 +1,204 @@
+#include "manifold/mlink.hpp"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+namespace mg::iwim {
+
+namespace {
+
+/// Brace-expression tokenizer/parser: the MLINK/CONFIG surface syntax is a
+/// tree of {word word ... {..} ...} groups.
+struct Node {
+  std::vector<std::string> words;
+  std::vector<Node> children;
+  std::size_t line = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::vector<Node> parse_all() {
+    std::vector<Node> nodes;
+    skip_ws();
+    while (pos_ < text_.size()) {
+      nodes.push_back(parse_group());
+      skip_ws();
+    }
+    return nodes;
+  }
+
+ private:
+  Node parse_group() {
+    expect('{');
+    Node node;
+    node.line = line_;
+    skip_ws();
+    while (pos_ < text_.size() && text_[pos_] != '}') {
+      if (text_[pos_] == '{') {
+        node.children.push_back(parse_group());
+      } else {
+        node.words.push_back(parse_word());
+      }
+      skip_ws();
+    }
+    expect('}');
+    return node;
+  }
+
+  std::string parse_word() {
+    std::string word;
+    while (pos_ < text_.size() && !std::isspace(static_cast<unsigned char>(text_[pos_])) &&
+           text_[pos_] != '{' && text_[pos_] != '}' && text_[pos_] != '#') {
+      word.push_back(text_[pos_++]);
+    }
+    if (word.empty()) throw ParseError(line_, "expected a word");
+    return word;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      throw ParseError(line_, std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+double parse_number(const Node& node, std::size_t index) {
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(node.words.at(index), &consumed);
+    if (consumed != node.words[index].size()) throw std::invalid_argument("trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError(node.line, "expected a number in '" + node.words[0] + "'");
+  }
+}
+
+}  // namespace
+
+MlinkFile parse_mlink(const std::string& text) {
+  MlinkFile file;
+  bool saw_named_task = false;
+  for (const Node& top : Parser(text).parse_all()) {
+    if (top.words.empty() || top.words[0] != "task") {
+      throw ParseError(top.line, "top-level group must be a {task ...}");
+    }
+    if (top.words.size() < 2) throw ParseError(top.line, "task needs a name or *");
+    const bool defaults_block = top.words[1] == "*";
+    if (!defaults_block) {
+      if (saw_named_task) throw ParseError(top.line, "only one named task block is supported");
+      saw_named_task = true;
+      file.task_name = top.words[1];
+      file.spec.task_name = top.words[1];
+    }
+    for (const Node& item : top.children) {
+      if (item.words.empty()) throw ParseError(item.line, "empty directive");
+      const std::string& kind = item.words[0];
+      if (kind == "perpetual") {
+        file.spec.perpetual = true;
+      } else if (kind == "load") {
+        if (item.words.size() != 2) throw ParseError(item.line, "{load N}");
+        file.spec.load_threshold = parse_number(item, 1);
+      } else if (kind == "weight") {
+        if (item.words.size() != 3) throw ParseError(item.line, "{weight Kind N}");
+        file.spec.weights[item.words[1]] = parse_number(item, 2);
+      } else if (kind == "include") {
+        if (item.words.size() != 2) throw ParseError(item.line, "{include file.o}");
+        file.includes.push_back(item.words[1]);
+      } else {
+        throw ParseError(item.line, "unknown MLINK directive '" + kind + "'");
+      }
+    }
+  }
+  return file;
+}
+
+HostMap parse_config(const std::string& text) {
+  HostMap map;
+  map.worker_hosts.clear();
+  std::map<std::string, std::string> host_vars;
+  bool saw_locus = false;
+  for (const Node& top : Parser(text).parse_all()) {
+    if (top.words.empty()) throw ParseError(top.line, "empty directive");
+    const std::string& kind = top.words[0];
+    if (kind == "host") {
+      if (top.words.size() != 3) throw ParseError(top.line, "{host var machine}");
+      host_vars[top.words[1]] = top.words[2];
+    } else if (kind == "startup") {
+      if (top.words.size() != 2) throw ParseError(top.line, "{startup machine}");
+      map.startup_host = top.words[1];
+    } else if (kind == "locus") {
+      if (top.words.size() < 2) throw ParseError(top.line, "{locus task $var...}");
+      saw_locus = true;
+      for (std::size_t i = 2; i < top.words.size(); ++i) {
+        const std::string& w = top.words[i];
+        if (!w.empty() && w[0] == '$') {
+          const auto it = host_vars.find(w.substr(1));
+          if (it == host_vars.end()) {
+            throw ParseError(top.line, "undefined host variable '" + w + "'");
+          }
+          map.worker_hosts.push_back(it->second);
+        } else {
+          map.worker_hosts.push_back(w);  // literal machine name
+        }
+      }
+    } else {
+      throw ParseError(top.line, "unknown CONFIG directive '" + kind + "'");
+    }
+  }
+  if (!saw_locus) throw ParseError(1, "CONFIG needs a {locus ...} line");
+  if (map.worker_hosts.empty()) throw ParseError(1, "locus lists no hosts");
+  return map;
+}
+
+std::string to_mlink(const MlinkFile& file) {
+  std::ostringstream os;
+  os << "{task *\n";
+  if (file.spec.perpetual) os << "  {perpetual}\n";
+  os << "  {load " << file.spec.load_threshold << "}\n";
+  for (const auto& [kind, weight] : file.spec.weights) {
+    os << "  {weight " << kind << " " << weight << "}\n";
+  }
+  os << "}\n{task " << file.task_name << "\n";
+  for (const auto& inc : file.includes) os << "  {include " << inc << "}\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_config(const HostMap& map, const std::string& task_name) {
+  std::ostringstream os;
+  os << "{startup " << map.startup_host << "}\n";
+  for (std::size_t i = 0; i < map.worker_hosts.size(); ++i) {
+    os << "{host host" << i + 1 << " " << map.worker_hosts[i] << "}\n";
+  }
+  os << "{locus " << task_name;
+  for (std::size_t i = 0; i < map.worker_hosts.size(); ++i) os << " $host" << i + 1;
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace mg::iwim

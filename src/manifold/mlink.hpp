@@ -1,0 +1,66 @@
+// Parsers for the two application-construction files of §6.
+//
+// Task composition stage — the MLINK input file (mainprog.mlink):
+//
+//     {task *
+//       {perpetual}
+//       {load 1}
+//       {weight Master 1}
+//       {weight Worker 1}
+//     }
+//     {task mainprog
+//       {include mainprog.o}
+//       {include protocolMW.o}
+//     }
+//
+// Runtime configuration stage — the CONFIG input file:
+//
+//     {host host1 diplice.sen.cwi.nl}
+//     ...
+//     {locus mainprog $host1 $host2 $host3 $host4 $host5}
+//
+// parse_mlink() turns the former into a TaskCompositionSpec (plus the
+// object-file include list, kept for fidelity); parse_config() turns the
+// latter into a HostMap.  Both accept the brace syntax shown in the paper,
+// with '#'-to-end-of-line comments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "manifold/task.hpp"
+
+namespace mg::iwim {
+
+/// Thrown on malformed MLINK/CONFIG input; carries a line number.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message), line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+struct MlinkFile {
+  TaskCompositionSpec spec;            ///< from the `{task *}` defaults block
+  std::string task_name = "mainprog";  ///< the named task block, if any
+  std::vector<std::string> includes;   ///< `{include x.o}` entries (fidelity)
+};
+
+/// Parses MLINK text.  The `{task *}` block sets the defaults (perpetual,
+/// load threshold, weights); a named `{task name}` block names the task.
+MlinkFile parse_mlink(const std::string& text);
+
+/// Parses CONFIG text: `{host var name}` bindings, `{startup name}`
+/// (extension; defaults to the paper's bumpa) and `{locus task $var...}`.
+HostMap parse_config(const std::string& text);
+
+/// Renders a spec back to MLINK syntax (round-trip support / debugging).
+std::string to_mlink(const MlinkFile& file);
+
+/// Renders a host map back to CONFIG syntax.
+std::string to_config(const HostMap& map, const std::string& task_name = "mainprog");
+
+}  // namespace mg::iwim

@@ -1,0 +1,176 @@
+#include "manifold/port.hpp"
+
+#include "manifold/event.hpp"
+#include "support/check.hpp"
+
+namespace mg::iwim {
+
+const char* to_string(StreamType t) {
+  switch (t) {
+    case StreamType::BK: return "BK";
+    case StreamType::KK: return "KK";
+  }
+  return "?";
+}
+
+std::size_t Stream::pending() const {
+  MG_REQUIRE(sink_ != nullptr);
+  std::lock_guard<std::mutex> lock(sink_->mutex_);
+  return queue_.size();
+}
+
+Port::Port(Process* owner, std::string name, Direction direction)
+    : owner_(owner), name_(std::move(name)), direction_(direction) {}
+
+Unit Port::read() {
+  MG_REQUIRE(direction_ == Direction::In);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (!direct_.empty()) {
+      Unit u = std::move(direct_.front());
+      direct_.pop_front();
+      return u;
+    }
+    // Round-robin over incoming streams for fairness when several feed us.
+    const std::size_t n = incoming_.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      Stream* s = incoming_[(rr_cursor_ + k) % n];
+      if (!s->queue_.empty()) {
+        Unit u = std::move(s->queue_.front());
+        s->queue_.pop_front();
+        rr_cursor_ = (rr_cursor_ + k + 1) % n;
+        return u;
+      }
+    }
+    if (stopping_) throw ShutdownSignal{};
+    cv_.wait(lock);
+  }
+}
+
+std::optional<Unit> Port::try_read() {
+  MG_REQUIRE(direction_ == Direction::In);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!direct_.empty()) {
+    Unit u = std::move(direct_.front());
+    direct_.pop_front();
+    return u;
+  }
+  const std::size_t n = incoming_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    Stream* s = incoming_[(rr_cursor_ + k) % n];
+    if (!s->queue_.empty()) {
+      Unit u = std::move(s->queue_.front());
+      s->queue_.pop_front();
+      rr_cursor_ = (rr_cursor_ + k + 1) % n;
+      return u;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Unit> Port::read_for(std::chrono::milliseconds timeout) {
+  MG_REQUIRE(direction_ == Direction::In);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (!direct_.empty()) {
+      Unit u = std::move(direct_.front());
+      direct_.pop_front();
+      return u;
+    }
+    const std::size_t n = incoming_.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      Stream* s = incoming_[(rr_cursor_ + k) % n];
+      if (!s->queue_.empty()) {
+        Unit u = std::move(s->queue_.front());
+        s->queue_.pop_front();
+        rr_cursor_ = (rr_cursor_ + k + 1) % n;
+        return u;
+      }
+    }
+    if (stopping_) throw ShutdownSignal{};
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) return std::nullopt;
+  }
+}
+
+void Port::write(Unit unit) {
+  MG_REQUIRE(direction_ == Direction::Out);
+  std::vector<Stream*> targets;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (outgoing_.empty()) {
+      pending_.push_back(std::move(unit));
+      return;
+    }
+    targets = outgoing_;
+  }
+  // Replicate to every connected stream (unit copies are O(1): shared payload).
+  for (Stream* s : targets) push_to_stream(s, unit);
+}
+
+void Port::deposit(Unit unit) {
+  MG_REQUIRE(direction_ == Direction::In);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    direct_.push_back(std::move(unit));
+  }
+  cv_.notify_all();
+}
+
+std::size_t Port::queued() const {
+  MG_REQUIRE(direction_ == Direction::In);
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = direct_.size();
+  for (const Stream* s : incoming_) n += s->queue_.size();
+  return n;
+}
+
+std::size_t Port::pending_writes() const {
+  MG_REQUIRE(direction_ == Direction::Out);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+void Port::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+}
+
+void Port::attach_outgoing(Stream* stream) {
+  MG_REQUIRE(direction_ == Direction::Out);
+  std::deque<Unit> flush;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    outgoing_.push_back(stream);
+    flush.swap(pending_);
+  }
+  for (auto& u : flush) push_to_stream(stream, std::move(u));
+}
+
+void Port::attach_incoming(Stream* stream) {
+  MG_REQUIRE(direction_ == Direction::In);
+  std::lock_guard<std::mutex> lock(mutex_);
+  incoming_.push_back(stream);
+}
+
+void Port::detach_outgoing(Stream* stream) {
+  MG_REQUIRE(direction_ == Direction::Out);
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::erase(outgoing_, stream);
+  stream->source_connected_ = false;
+}
+
+void Port::push_to_stream(Stream* stream, Unit unit) {
+  Port* sink = stream->sink();
+  MG_ASSERT(sink != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(sink->mutex_);
+    stream->queue_.push_back(std::move(unit));
+  }
+  sink->cv_.notify_all();
+}
+
+}  // namespace mg::iwim

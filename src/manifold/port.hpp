@@ -1,0 +1,125 @@
+// Ports and streams (the IWIM data plane).
+//
+// A process reads from and writes to the ports in its own "bounding wall";
+// it never names a peer (the worker "simply reads this information from its
+// own input port").  A third party — the coordinator — connects an output
+// port to an input port with a stream.
+//
+// Stream break semantics (paper §4.2): when a coordinator state is
+// pre-empted, its streams are dismantled.  A BK (Break-Keep) stream is
+// disconnected from its producer but keeps feeding its consumer until
+// drained; a KK (Keep-Keep) stream survives pre-emption entirely — the
+// protocol declares the worker->master.dataport result stream KK so results
+// still reach the master after the state moves on (protocolMW.m line 32).
+//
+// Units written while no stream is connected pend in the output port and
+// flush into the next stream connected to it.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "manifold/unit.hpp"
+
+namespace mg::iwim {
+
+class Process;
+class Port;
+class Runtime;
+
+enum class StreamType { BK, KK };
+
+const char* to_string(StreamType t);
+
+/// A stream instance.  Owned by the Runtime (never destroyed mid-run); its
+/// unit queue is guarded by the sink port's mutex.
+class Stream {
+ public:
+  Stream(Port* source, Port* sink, StreamType type) : source_(source), sink_(sink), type_(type) {}
+
+  StreamType type() const { return type_; }
+  Port* source() const { return source_; }
+  Port* sink() const { return sink_; }
+  bool source_connected() const { return source_connected_; }
+
+  std::size_t pending() const;
+
+ private:
+  friend class Port;
+  friend class Runtime;
+
+  Port* source_;
+  Port* sink_;
+  StreamType type_;
+  bool source_connected_ = true;    // guarded by source port's mutex
+  std::deque<Unit> queue_;          // guarded by sink port's mutex
+};
+
+class Port {
+ public:
+  enum class Direction { In, Out };
+
+  Port(Process* owner, std::string name, Direction direction);
+
+  Process* owner() const { return owner_; }
+  const std::string& name() const { return name_; }
+  Direction direction() const { return direction_; }
+
+  // ---- owning-process side ----
+
+  /// Blocking read (In ports).  Throws ShutdownSignal on runtime shutdown.
+  Unit read();
+
+  /// Non-blocking read.
+  std::optional<Unit> try_read();
+
+  /// Read with timeout; nullopt on expiry.
+  std::optional<Unit> read_for(std::chrono::milliseconds timeout);
+
+  /// Write a unit (Out ports).  Replicated to every connected stream; pends
+  /// in the port if no stream is connected.
+  void write(Unit unit);
+
+  // ---- wiring side (used by Runtime / StateScope) ----
+
+  /// Deposits a unit directly into an In port (renders constant-source
+  /// streams such as `&worker -> master`).
+  void deposit(Unit unit);
+
+  std::size_t queued() const;           ///< units available to read (In)
+  std::size_t pending_writes() const;   ///< unflushed writes (Out)
+
+  /// Wakes blocked readers with ShutdownSignal.
+  void stop();
+
+ private:
+  friend class Runtime;
+  friend class Stream;
+
+  // Runtime wiring helpers; see Runtime::connect / disconnect_source.
+  void attach_outgoing(Stream* stream);    // locks this (source) port
+  void attach_incoming(Stream* stream);    // locks this (sink) port
+  void detach_outgoing(Stream* stream);
+  void push_to_stream(Stream* stream, Unit unit);  // locks sink port
+
+  Process* owner_;
+  std::string name_;
+  Direction direction_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;      // readers wait here (In ports)
+  std::vector<Stream*> outgoing_;   // Out: connected streams
+  std::deque<Unit> pending_;        // Out: writes made with no stream
+  std::vector<Stream*> incoming_;   // In: connected streams (queues herein)
+  std::deque<Unit> direct_;         // In: directly deposited units
+  std::size_t rr_cursor_ = 0;       // In: round-robin fairness over streams
+  bool stopping_ = false;
+};
+
+}  // namespace mg::iwim

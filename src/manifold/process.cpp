@@ -1,0 +1,118 @@
+#include "manifold/process.hpp"
+
+#include "manifold/runtime.hpp"
+#include "support/check.hpp"
+#include "support/log.hpp"
+
+namespace mg::iwim {
+
+Unit ProcessContext::read(const std::string& port) { return self_.port(port).read(); }
+
+std::optional<Unit> ProcessContext::read_for(const std::string& port,
+                                             std::chrono::milliseconds timeout) {
+  return self_.port(port).read_for(timeout);
+}
+
+void ProcessContext::write(Unit unit, const std::string& port) {
+  self_.port(port).write(std::move(unit));
+}
+
+void ProcessContext::raise(const std::string& event) { self_.raise(event); }
+
+EventOccurrence ProcessContext::await(const std::vector<EventMatcher>& matchers) {
+  return self_.events().await(matchers);
+}
+
+std::optional<EventOccurrence> ProcessContext::await_for(const std::vector<EventMatcher>& matchers,
+                                                         std::chrono::milliseconds timeout) {
+  return self_.events().await_for(matchers, timeout);
+}
+
+void ProcessContext::trace(const std::string& text, const char* file, int line) {
+  runtime_.trace_message(self_, file, line, text);
+}
+
+Process::Process(Runtime& runtime, std::string kind, std::string name)
+    : runtime_(runtime), id_(runtime.next_process_id()), kind_(std::move(kind)),
+      name_(std::move(name)) {
+  // Every IWIM process has the standard ports (paper §2: input / output /
+  // error openings in its bounding wall); wrappers add customs (dataport).
+  add_port("input", Port::Direction::In);
+  add_port("output", Port::Direction::Out);
+  add_port("error", Port::Direction::Out);
+}
+
+Process::~Process() { join_thread(); }
+
+Port& Process::port(const std::string& name) {
+  auto it = ports_.find(name);
+  MG_REQUIRE_MSG(it != ports_.end(), "no port named '" + name + "' on process " + name_);
+  return *it->second;
+}
+
+bool Process::has_port(const std::string& name) const { return ports_.count(name) != 0; }
+
+Port& Process::add_port(const std::string& name, Port::Direction direction) {
+  MG_REQUIRE_MSG(phase() == Phase::Created, "ports must be added before activation");
+  MG_REQUIRE_MSG(ports_.find(name) == ports_.end(), "duplicate port '" + name + "'");
+  auto port = std::make_unique<Port>(this, name, direction);
+  Port& ref = *port;
+  ports_.emplace(name, std::move(port));
+  return ref;
+}
+
+void Process::activate() {
+  Phase expected = Phase::Created;
+  if (!phase_.compare_exchange_strong(expected, Phase::Active, std::memory_order_acq_rel)) {
+    MG_REQUIRE_MSG(false, "activate() on a process that is not in Created phase");
+  }
+  runtime_.on_activate(*this);
+  thread_ = std::thread([this] { run(); });
+}
+
+void Process::run() {
+  runtime_.trace_message(*this, "process.cpp", __LINE__, "Welcome");
+  try {
+    ProcessContext context(runtime_, *this);
+    body(context);
+  } catch (const ShutdownSignal&) {
+    // Normal path during runtime shutdown.
+  } catch (const std::exception& e) {
+    support::log_error("process ", name_, " (", kind_, ") died with exception: ", e.what());
+    runtime_.trace_message(*this, "process.cpp", __LINE__, std::string("Exception: ") + e.what());
+  }
+  runtime_.trace_message(*this, "process.cpp", __LINE__, "Bye");
+  {
+    std::lock_guard<std::mutex> lock(phase_mutex_);
+    phase_.store(Phase::Terminated, std::memory_order_release);
+  }
+  phase_cv_.notify_all();
+  runtime_.on_terminate(*this);
+}
+
+void Process::wait_terminated() {
+  MG_REQUIRE_MSG(std::this_thread::get_id() != thread_.get_id(),
+                 "wait_terminated() from the process's own thread");
+  std::unique_lock<std::mutex> lock(phase_mutex_);
+  phase_cv_.wait(lock, [&] { return phase() == Phase::Terminated; });
+}
+
+bool Process::wait_terminated_for(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(phase_mutex_);
+  return phase_cv_.wait_for(lock, timeout, [&] { return phase() == Phase::Terminated; });
+}
+
+void Process::raise(const std::string& event) { runtime_.broadcast_event(*this, event); }
+
+void Process::stop_blocking() {
+  events_.stop();
+  for (auto& [name, port] : ports_) {
+    if (port->direction() == Port::Direction::In) port->stop();
+  }
+}
+
+void Process::join_thread() {
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace mg::iwim

@@ -1,0 +1,151 @@
+// Processes — IWIM's black-box workers and coordinators.
+//
+// A process owns its ports and its event memory, runs as one thread, and is
+// "treated as a black box that can only read or write through the openings
+// (ports) in its own bounding walls".  Worker code never performs
+// communication setup; coordinators never compute.
+//
+// Lifecycle: Created -> (activate) -> Active -> (body returns) -> Terminated.
+// Termination broadcasts the built-in `.terminated` event, which renders
+// MANIFOLD's `terminated(p)` primitive.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "manifold/event.hpp"
+#include "manifold/port.hpp"
+#include "manifold/unit.hpp"
+
+namespace mg::iwim {
+
+class Runtime;
+class Process;
+
+/// The interface handed to a process body: its own ports and events only
+/// (plus the runtime for coordinator bodies, which legitimately create
+/// processes and streams — they are the "third party").
+class ProcessContext {
+ public:
+  ProcessContext(Runtime& runtime, Process& self) : runtime_(runtime), self_(self) {}
+
+  Process& self() { return self_; }
+  Runtime& runtime() { return runtime_; }
+
+  /// Blocking read from one of the process's own In ports.
+  Unit read(const std::string& port = "input");
+  std::optional<Unit> read_for(const std::string& port, std::chrono::milliseconds timeout);
+
+  /// Write to one of the process's own Out ports.
+  void write(Unit unit, const std::string& port = "output");
+
+  /// Raise an event (broadcast to the application).
+  void raise(const std::string& event);
+
+  /// Wait for one of the labelled events (matcher order = priority).
+  EventOccurrence await(const std::vector<EventMatcher>& matchers);
+  std::optional<EventOccurrence> await_for(const std::vector<EventMatcher>& matchers,
+                                           std::chrono::milliseconds timeout);
+
+  /// Emit a paper-§6-style trace line attributed to this process.
+  void trace(const std::string& text, const char* file = "", int line = 0);
+
+ private:
+  Runtime& runtime_;
+  Process& self_;
+};
+
+class Process : public std::enable_shared_from_this<Process> {
+ public:
+  enum class Phase { Created, Active, Terminated };
+
+  virtual ~Process();
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  std::uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  /// The "manifold" this is an instance of (e.g. "Master", "Worker", "Main").
+  const std::string& kind() const { return kind_; }
+
+  Runtime& runtime() { return runtime_; }
+
+  Port& port(const std::string& name);
+  bool has_port(const std::string& name) const;
+  Port& add_port(const std::string& name, Port::Direction direction);
+
+  EventMemory& events() { return events_; }
+
+  Phase phase() const { return phase_.load(std::memory_order_acquire); }
+
+  /// Starts the process thread (places it into a task instance first).
+  /// The paper's master "receives a worker reference [and] activates it".
+  void activate();
+
+  /// Blocks until the process has terminated.  Must not be called from the
+  /// process's own thread.
+  void wait_terminated();
+  bool wait_terminated_for(std::chrono::milliseconds timeout);
+
+  /// Raise an event attributed to this process.
+  void raise(const std::string& event);
+
+  /// Wakes any blocked read/await on this process with ShutdownSignal.
+  void stop_blocking();
+
+  /// Task instance this process was placed into (0 before activation).
+  std::uint64_t task_id() const { return task_id_.load(std::memory_order_acquire); }
+
+ protected:
+  Process(Runtime& runtime, std::string kind, std::string name);
+
+  /// The process body; runs on the process's own thread.
+  virtual void body(ProcessContext& context) = 0;
+
+ private:
+  friend class Runtime;
+  void run();                 // thread entry: body + termination bookkeeping
+  void join_thread();
+
+  Runtime& runtime_;
+  std::uint64_t id_;
+  std::string kind_;
+  std::string name_;
+  std::map<std::string, std::unique_ptr<Port>> ports_;
+  EventMemory events_;
+  std::atomic<Phase> phase_{Phase::Created};
+  std::atomic<std::uint64_t> task_id_{0};
+
+  std::mutex phase_mutex_;
+  std::condition_variable phase_cv_;
+  std::thread thread_;
+};
+
+/// A process whose body is a user-supplied function — the C wrapper
+/// equivalent: "the master and worker manifolds are easy to write as C
+/// wrappers around the original C subroutines" (§5).
+class AtomicProcess final : public Process {
+ public:
+  using Body = std::function<void(ProcessContext&)>;
+
+ protected:
+  void body(ProcessContext& context) override { body_(context); }
+
+ private:
+  friend class Runtime;
+  AtomicProcess(Runtime& runtime, std::string kind, std::string name, Body body)
+      : Process(runtime, std::move(kind), std::move(name)), body_(std::move(body)) {}
+
+  Body body_;
+};
+
+}  // namespace mg::iwim

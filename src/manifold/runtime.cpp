@@ -1,0 +1,118 @@
+#include "manifold/runtime.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace mg::iwim {
+
+Runtime::Runtime(RuntimeConfig config)
+    : config_(std::move(config)), tasks_(config_.tasks, config_.hosts) {}
+
+Runtime::~Runtime() { shutdown(); }
+
+std::shared_ptr<AtomicProcess> Runtime::create_process(std::string kind, std::string name,
+                                                       AtomicProcess::Body body,
+                                                       std::vector<PortSpec> extra_ports) {
+  // Not make_shared: the constructor is private to force creation through here.
+  std::shared_ptr<AtomicProcess> process(
+      new AtomicProcess(*this, std::move(kind), std::move(name), std::move(body)));
+  for (const auto& spec : extra_ports) process->add_port(spec.name, spec.direction);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MG_REQUIRE_MSG(!shutting_down_, "create_process during shutdown");
+    processes_.push_back(process);
+  }
+  return process;
+}
+
+Stream& Runtime::connect(Port& src, Port& dst, StreamType type) {
+  MG_REQUIRE(src.direction() == Port::Direction::Out);
+  MG_REQUIRE(dst.direction() == Port::Direction::In);
+  Stream* stream = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    streams_.push_back(std::make_unique<Stream>(&src, &dst, type));
+    stream = streams_.back().get();
+  }
+  // Register at the sink first so readers can see flushed units immediately.
+  dst.attach_incoming(stream);
+  src.attach_outgoing(stream);  // flushes the source port's pending writes
+  return *stream;
+}
+
+void Runtime::disconnect_source(Stream& stream) { stream.source()->detach_outgoing(&stream); }
+
+void Runtime::send(Port& dst, Unit unit) { dst.deposit(std::move(unit)); }
+
+void Runtime::broadcast_event(const Process& source, const std::string& event) {
+  std::vector<std::shared_ptr<Process>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = processes_;
+  }
+  for (const auto& p : snapshot) {
+    p->events().deposit({event, source.id(), source.name()});
+  }
+}
+
+void Runtime::trace_message(const Process& process, const char* file, int line,
+                            const std::string& text) {
+  if (config_.trace == nullptr) return;
+  const double t = now();
+  trace::TraceMessage m;
+  const std::uint64_t task_id = process.task_id();
+  if (task_id != 0) {
+    const TaskInstance task = tasks_.task(task_id);
+    m.host = task.host;
+    m.task_name = task.name;
+  } else {
+    m.host = config_.hosts.startup_host;
+    m.task_name = config_.tasks.task_name;
+  }
+  m.task_id = task_id;
+  m.process_id = process.id();
+  m.seconds = static_cast<std::int64_t>(t);
+  m.microseconds = static_cast<std::int64_t>(std::llround((t - std::floor(t)) * 1e6));
+  m.manifold_name = process.kind();
+  m.source_file = file;
+  m.source_line = line;
+  m.text = text;
+  config_.trace->record(std::move(m));
+}
+
+std::size_t Runtime::process_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return processes_.size();
+}
+
+std::size_t Runtime::stream_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return streams_.size();
+}
+
+void Runtime::on_activate(Process& process) {
+  const std::uint64_t task_id = tasks_.place(process.kind(), now());
+  process.task_id_.store(task_id, std::memory_order_release);
+}
+
+void Runtime::on_terminate(Process& process) {
+  broadcast_event(process, kTerminatedEvent);
+  const std::uint64_t task_id = process.task_id();
+  if (task_id != 0) tasks_.release(task_id, process.kind(), now());
+}
+
+void Runtime::shutdown() {
+  std::vector<std::shared_ptr<Process>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) return;
+    shutting_down_ = true;
+    snapshot = processes_;
+  }
+  // Wake every blocked await/read, then join.
+  for (const auto& p : snapshot) p->stop_blocking();
+  for (const auto& p : snapshot) p->join_thread();
+}
+
+}  // namespace mg::iwim

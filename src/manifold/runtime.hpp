@@ -1,0 +1,96 @@
+// The IWIM runtime — the embedded stand-in for the MANIFOLD run-time system.
+//
+// Owns all processes and streams of one concurrent application, performs the
+// event broadcast, the task-instance placement (via TaskManager), and the
+// optional paper-§6-style tracing.  One Runtime == one MANIFOLD application.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "manifold/process.hpp"
+#include "manifold/task.hpp"
+#include "support/stopwatch.hpp"
+#include "trace/trace_log.hpp"
+
+namespace mg::iwim {
+
+struct RuntimeConfig {
+  TaskCompositionSpec tasks = TaskCompositionSpec::paper_distributed();
+  HostMap hosts = HostMap::generated(32);
+  trace::TraceLog* trace = nullptr;  ///< optional, not owned
+};
+
+struct PortSpec {
+  std::string name;
+  Port::Direction direction;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeConfig config = {});
+
+  /// Joins every process thread (after waking blocked reads/awaits).
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Creates (but does not activate) an atomic process.  `kind` is the
+  /// manifold name ("Master", "Worker", ...) used for task weights and
+  /// tracing; extra ports (e.g. the master's `dataport`) are added on top of
+  /// the standard input/output/error.
+  std::shared_ptr<AtomicProcess> create_process(std::string kind, std::string name,
+                                                AtomicProcess::Body body,
+                                                std::vector<PortSpec> extra_ports = {});
+
+  /// Connects src (an Out port) to dst (an In port) with a stream.
+  Stream& connect(Port& src, Port& dst, StreamType type = StreamType::BK);
+
+  /// Breaks a stream at its source (BK dismantling); queued units drain.
+  void disconnect_source(Stream& stream);
+
+  /// Direct deposit into an In port (constant-source streams like `&worker`).
+  void send(Port& dst, Unit unit);
+
+  /// Broadcasts an event occurrence to every process in the application.
+  void broadcast_event(const Process& source, const std::string& event);
+
+  /// Elapsed wall-clock seconds since the runtime started.
+  double now() const { return clock_.elapsed_seconds(); }
+
+  TaskManager& tasks() { return tasks_; }
+  trace::TraceLog* trace() { return config_.trace; }
+
+  /// Records a §6-format trace message attributed to `process`.
+  void trace_message(const Process& process, const char* file, int line, const std::string& text);
+
+  std::size_t process_count() const;
+  std::size_t stream_count() const;
+
+  /// Wakes every blocked read/await with ShutdownSignal and joins all
+  /// process threads.  Idempotent; also run by the destructor.
+  void shutdown();
+
+ private:
+  friend class Process;
+  std::uint64_t next_process_id() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+  void on_activate(Process& process);   // task placement
+  void on_terminate(Process& process);  // .terminated broadcast + task release
+
+  RuntimeConfig config_;
+  TaskManager tasks_;
+  support::Stopwatch clock_;
+  std::atomic<std::uint64_t> next_id_{1};
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Process>> processes_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace mg::iwim

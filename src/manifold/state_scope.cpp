@@ -1,0 +1,21 @@
+#include "manifold/state_scope.hpp"
+
+#include "manifold/runtime.hpp"
+
+namespace mg::iwim {
+
+StateScope::~StateScope() {
+  for (Stream* s : streams_) {
+    if (s->type() == StreamType::BK && s->source_connected()) {
+      runtime_.disconnect_source(*s);
+    }
+  }
+}
+
+Stream& StateScope::connect(Port& src, Port& dst, StreamType type) {
+  Stream& s = runtime_.connect(src, dst, type);
+  streams_.push_back(&s);
+  return s;
+}
+
+}  // namespace mg::iwim

@@ -1,0 +1,44 @@
+// StateScope — RAII rendering of a MANIFOLD state's stream lifetime.
+//
+// In MANIFOLD, the streams constructed in a state are dismantled when the
+// state is pre-empted by an event: BK streams are broken at their source
+// (the producer can no longer feed them, but queued units still drain to the
+// consumer); KK streams stay intact (protocolMW.m line 32: the
+// worker->master.dataport stream "must stay intact because when the worker
+// is a remote worker this stream is used to transport its computed results
+// to the master").
+//
+// In the embedded DSL a coordinator state is a C++ scope: construct a
+// StateScope, build the state's streams through it, and leaving the scope
+// (the transition) dismantles exactly the BK streams.
+#pragma once
+
+#include <vector>
+
+#include "manifold/port.hpp"
+
+namespace mg::iwim {
+
+class Runtime;
+
+class StateScope {
+ public:
+  explicit StateScope(Runtime& runtime) : runtime_(runtime) {}
+
+  /// Dismantles: breaks the scope's BK streams at their sources.
+  ~StateScope();
+
+  StateScope(const StateScope&) = delete;
+  StateScope& operator=(const StateScope&) = delete;
+
+  /// Builds a stream belonging to this state.
+  Stream& connect(Port& src, Port& dst, StreamType type = StreamType::BK);
+
+  std::size_t stream_count() const { return streams_.size(); }
+
+ private:
+  Runtime& runtime_;
+  std::vector<Stream*> streams_;
+};
+
+}  // namespace mg::iwim

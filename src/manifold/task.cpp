@@ -1,0 +1,137 @@
+#include "manifold/task.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace mg::iwim {
+
+double TaskCompositionSpec::weight_for(const std::string& kind) const {
+  auto it = weights.find(kind);
+  return it != weights.end() ? it->second : default_weight;
+}
+
+TaskCompositionSpec TaskCompositionSpec::paper_distributed() {
+  TaskCompositionSpec spec;
+  spec.task_name = "mainprog";
+  spec.load_threshold = 1.0;
+  spec.perpetual = true;
+  spec.weights = {{"Master", 1.0}, {"Worker", 1.0}};
+  spec.default_weight = 0.0;
+  return spec;
+}
+
+TaskCompositionSpec TaskCompositionSpec::paper_parallel(std::size_t worker_count) {
+  // §6: "we simply change the load on line 5 of mainprog.mlink to 6" — a
+  // threshold big enough that every worker fits in the startup task.
+  TaskCompositionSpec spec = paper_distributed();
+  spec.load_threshold = static_cast<double>(worker_count + 1);
+  return spec;
+}
+
+HostMap HostMap::paper_hosts() {
+  HostMap map;
+  map.startup_host = "bumpa.sen.cwi.nl";
+  map.worker_hosts = {"diplice.sen.cwi.nl", "alboka.sen.cwi.nl", "altfluit.sen.cwi.nl",
+                      "arghul.sen.cwi.nl", "basfluit.sen.cwi.nl"};
+  return map;
+}
+
+HostMap HostMap::generated(std::size_t n) {
+  HostMap map;
+  map.startup_host = "bumpa.sen.cwi.nl";
+  map.worker_hosts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    map.worker_hosts.push_back("node" + std::to_string(i + 1) + ".sim.cwi.nl");
+  }
+  return map;
+}
+
+const std::string& HostMap::host_for_fork(std::size_t k) const {
+  MG_REQUIRE_MSG(!worker_hosts.empty(), "HostMap has no worker hosts");
+  return worker_hosts[k % worker_hosts.size()];
+}
+
+TaskManager::TaskManager(TaskCompositionSpec spec, HostMap hosts)
+    : spec_(std::move(spec)), hosts_(std::move(hosts)) {}
+
+std::uint64_t TaskManager::place(const std::string& kind, double now) {
+  const double w = spec_.weight_for(kind);
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  TaskInstance* chosen = nullptr;
+  // Prefer an alive task that can absorb the weight; among candidates prefer
+  // an emptied (perpetual) one — the paper's "welcome a new worker" reuse —
+  // then lowest id for determinism.
+  for (auto& t : tasks_) {
+    if (!t.alive || t.load + w > spec_.load_threshold + 1e-12) continue;
+    if (chosen == nullptr) {
+      chosen = &t;
+    } else if (t.load < chosen->load) {
+      chosen = &t;
+    }
+  }
+  if (chosen == nullptr) {
+    TaskInstance t;
+    t.id = tasks_.size() + 1;
+    t.name = spec_.task_name;
+    t.perpetual = spec_.perpetual;
+    if (tasks_.empty()) {
+      t.host = hosts_.startup_host;  // the machine "we are sitting behind"
+    } else {
+      t.host = hosts_.host_for_fork(forked_++);
+    }
+    tasks_.push_back(t);
+    chosen = &tasks_.back();
+    ++stats_.tasks_created;
+  }
+  const bool was_idle = chosen->load == 0.0;
+  chosen->load += w;
+  chosen->processes_hosted += 1;
+  if (was_idle && chosen->load > 0.0) {
+    stats_.machine_events.push_back({now, +1});
+    std::size_t busy = 0;
+    for (const auto& t : tasks_) busy += (t.alive && t.load > 0.0) ? 1 : 0;
+    stats_.peak_busy = std::max(stats_.peak_busy, busy);
+  }
+  return chosen->id;
+}
+
+void TaskManager::release(std::uint64_t task_id, const std::string& kind, double now) {
+  const double w = spec_.weight_for(kind);
+  std::lock_guard<std::mutex> lock(mutex_);
+  MG_REQUIRE(task_id >= 1 && task_id <= tasks_.size());
+  TaskInstance& t = tasks_[task_id - 1];
+  MG_REQUIRE(t.alive);
+  t.load = std::max(0.0, t.load - w);
+  if (t.load == 0.0) {
+    if (w > 0.0) stats_.machine_events.push_back({now, -1});
+    if (!t.perpetual) t.alive = false;  // "a task instance dies when there
+                                        // are no thread processes running in it"
+  }
+}
+
+TaskInstance TaskManager::task(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MG_REQUIRE(id >= 1 && id <= tasks_.size());
+  return tasks_[id - 1];
+}
+
+std::size_t TaskManager::alive_tasks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::size_t>(
+      std::count_if(tasks_.begin(), tasks_.end(), [](const TaskInstance& t) { return t.alive; }));
+}
+
+std::size_t TaskManager::busy_tasks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::size_t>(std::count_if(
+      tasks_.begin(), tasks_.end(), [](const TaskInstance& t) { return t.alive && t.load > 0.0; }));
+}
+
+TaskStats TaskManager::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace mg::iwim

@@ -1,0 +1,108 @@
+// Task instances and their composition — the MLINK / CONFIG layer.
+//
+// MANIFOLD bundles light-weight processes into operating-system level "task
+// instances"; the mapping is specified in an MLINK input file
+// (mainprog.mlink: {perpetual} {load 1} {weight Master 1} {weight Worker 1})
+// and tasks are mapped to hosts by the CONFIG runtime configurator
+// ({host host1 diplice.sen.cwi.nl} ... {locus mainprog $host1 ...}).
+//
+// TaskCompositionSpec and HostMap are the in-memory equivalents of those two
+// files; TaskManager implements the placement policy the paper describes in
+// §6, including the `perpetual` behaviour: an emptied task instance stays
+// alive and welcomes new workers, which is why a run can need fewer machines
+// than master+workers ("it can happen that we need less than six machines to
+// run an application with five workers, which is more efficient").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "trace/ebb_flow.hpp"
+
+namespace mg::iwim {
+
+class Process;
+
+/// In-memory equivalent of the MLINK input file.
+struct TaskCompositionSpec {
+  std::string task_name = "mainprog";
+  double load_threshold = 1.0;               ///< {load 1}: "full" above this
+  bool perpetual = true;                     ///< {perpetual}
+  std::map<std::string, double> weights;     ///< {weight Master 1} — by process kind
+  double default_weight = 0.0;               ///< pure coordinators weigh nothing
+
+  double weight_for(const std::string& kind) const;
+
+  /// The paper's mainprog.mlink: load 1, perpetual, Master/Worker weight 1.
+  static TaskCompositionSpec paper_distributed();
+
+  /// The §6 "parallel" variant: load raised so all workers share one task.
+  static TaskCompositionSpec paper_parallel(std::size_t worker_count);
+};
+
+/// In-memory equivalent of the CONFIG input file.
+struct HostMap {
+  std::string startup_host = "bumpa.sen.cwi.nl";
+  std::vector<std::string> worker_hosts;
+
+  /// The five machines named in the paper's CONFIG file.
+  static HostMap paper_hosts();
+
+  /// startup host plus n generated workstation names.
+  static HostMap generated(std::size_t n);
+
+  /// Host for the k-th forked task (cycles when the locus list is exhausted).
+  const std::string& host_for_fork(std::size_t k) const;
+};
+
+struct TaskInstance {
+  std::uint64_t id = 0;
+  std::string name;
+  std::string host;
+  double load = 0.0;
+  bool perpetual = false;
+  bool alive = true;
+  std::size_t processes_hosted = 0;  ///< total over lifetime
+};
+
+/// Placement statistics for the ebb & flow analysis.
+struct TaskStats {
+  std::size_t tasks_created = 0;
+  std::size_t peak_busy = 0;
+  std::vector<mg::trace::MachineEvent> machine_events;  ///< busy transitions
+};
+
+class TaskManager {
+ public:
+  TaskManager(TaskCompositionSpec spec, HostMap hosts);
+
+  /// Places a process (by kind weight) into a task instance: reuses an alive
+  /// task with spare capacity (perpetual tasks with load 0 first), otherwise
+  /// forks a new task instance on the next host.  `now` is elapsed seconds
+  /// (for the machine-usage trace).  Returns the task id.
+  std::uint64_t place(const std::string& kind, double now);
+
+  /// Removes a process's weight; a non-perpetual task that empties dies.
+  void release(std::uint64_t task_id, const std::string& kind, double now);
+
+  TaskInstance task(std::uint64_t id) const;
+  std::size_t alive_tasks() const;
+  std::size_t busy_tasks() const;  ///< alive tasks with load > 0
+  TaskStats stats() const;
+
+  const TaskCompositionSpec& spec() const { return spec_; }
+  const HostMap& hosts() const { return hosts_; }
+
+ private:
+  mutable std::mutex mutex_;
+  TaskCompositionSpec spec_;
+  HostMap hosts_;
+  std::vector<TaskInstance> tasks_;  // index = id - 1
+  TaskStats stats_;
+  std::size_t forked_ = 0;           // tasks beyond the startup task
+};
+
+}  // namespace mg::iwim

@@ -1,0 +1,60 @@
+// Units — the data items that flow through IWIM streams.
+//
+// MANIFOLD processes exchange opaque "units"; the coordination layer never
+// inspects them (exogenous coordination: the glue routes data it does not
+// understand).  Unit is a cheaply-copyable, immutable, type-erased value.
+// A ProcessRef unit carries a process reference — the paper's `&worker`
+// that the coordinator sends to the master (protocolMW.m line 36).
+#pragma once
+
+#include <any>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace mg::iwim {
+
+class Process;
+
+/// Reference to a process instance, sendable through streams.
+struct ProcessRef {
+  std::shared_ptr<Process> process;
+};
+
+/// Thrown by Unit::as<T>() on a type mismatch.
+class UnitTypeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Unit {
+ public:
+  Unit() = default;
+
+  template <typename T>
+  static Unit of(T value) {
+    Unit u;
+    u.payload_ = std::make_shared<const std::any>(std::move(value));
+    return u;
+  }
+
+  bool empty() const { return payload_ == nullptr; }
+
+  template <typename T>
+  bool is() const {
+    return payload_ != nullptr && payload_->type() == typeid(T);
+  }
+
+  template <typename T>
+  const T& as() const {
+    if (!is<T>()) {
+      throw UnitTypeError(std::string("Unit::as: payload is not ") + typeid(T).name());
+    }
+    return *std::any_cast<T>(payload_.get());
+  }
+
+ private:
+  std::shared_ptr<const std::any> payload_;  // shared so stream broadcast copies are O(1)
+};
+
+}  // namespace mg::iwim

@@ -1,0 +1,43 @@
+// Interface between the time integrator and a (semi-discretised) ODE system
+// u' = F(t, u).
+//
+// ROS2 needs, per step, the action of (I - gamma*h*A)^{-1} for some
+// approximation A of the Jacobian dF/du.  ROS2 is a W-method: it retains
+// order 2 for ANY A, so implementations are free to lag or approximate the
+// Jacobian.  prepare_stage() returns a solver object so direct
+// factorisations are done once per step and reused for both stages — exactly
+// the expensive "A matrix must be built up ... again and again" the paper
+// describes in subsolve.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "linalg/vector_ops.hpp"
+
+namespace mg::ros {
+
+using linalg::Vec;
+
+/// Solves (I - gamma_h * A) x = rhs for the (t, u, gamma_h) it was prepared
+/// with.  Both ROS2 stages reuse one StageSolver.
+class StageSolver {
+ public:
+  virtual ~StageSolver() = default;
+  virtual void solve(const Vec& rhs, Vec& x) = 0;
+};
+
+class OdeSystem {
+ public:
+  virtual ~OdeSystem() = default;
+
+  virtual std::size_t dimension() const = 0;
+
+  /// f = F(t, u).
+  virtual void rhs(double t, const Vec& u, Vec& f) = 0;
+
+  /// Builds a solver for (I - gamma_h * A(t, u)).
+  virtual std::unique_ptr<StageSolver> prepare_stage(double t, const Vec& u, double gamma_h) = 0;
+};
+
+}  // namespace mg::ros

@@ -1,0 +1,45 @@
+#include "sim/engine.hpp"
+
+#include "support/check.hpp"
+
+namespace mg::sim {
+
+void SimEngine::schedule_at(double time, Action action) {
+  MG_REQUIRE_MSG(time >= now_, "cannot schedule in the past");
+  queue_.push({time, next_seq_++, std::move(action)});
+}
+
+void SimEngine::schedule_in(double delay, Action action) {
+  MG_REQUIRE(delay >= 0.0);
+  schedule_at(now_ + delay, std::move(action));
+}
+
+std::size_t SimEngine::run() {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; the action must be moved out before pop.
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = e.time;
+    e.action();
+    ++n;
+    ++executed_;
+  }
+  return n;
+}
+
+std::size_t SimEngine::run_until(double t_end) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = e.time;
+    e.action();
+    ++n;
+    ++executed_;
+  }
+  if (now_ < t_end) now_ = t_end;
+  return n;
+}
+
+}  // namespace mg::sim

@@ -1,0 +1,55 @@
+// A minimal discrete-event simulation engine: a virtual clock and an ordered
+// queue of timed callbacks.  Used for event-driven models; the cluster
+// simulator's master/worker schedule is computed on the companion
+// max-plus timelines (timeline.hpp), which share this virtual-time notion.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mg::sim {
+
+class SimEngine {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current virtual time (seconds).
+  double now() const { return now_; }
+
+  /// Schedules `action` at absolute virtual time `time` (>= now).
+  void schedule_at(double time, Action action);
+
+  /// Schedules `action` `delay` seconds from now.
+  void schedule_in(double delay, Action action);
+
+  /// Runs until the event queue is empty.  Returns events executed.
+  std::size_t run();
+
+  /// Runs until the queue is empty or virtual time would exceed `t_end`.
+  std::size_t run_until(double t_end);
+
+  std::size_t pending() const { return queue_.size(); }
+  std::size_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  ///< FIFO tie-break for simultaneous events
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+};
+
+}  // namespace mg::sim

@@ -1,0 +1,19 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace mg::sim {
+
+Interval Timeline::reserve(double earliest, double duration) {
+  MG_REQUIRE(duration >= 0.0);
+  const double start = std::max(earliest, free_from_);
+  const Interval interval{start, start + duration};
+  free_from_ = interval.end;
+  busy_ += duration;
+  history_.push_back(interval);
+  return interval;
+}
+
+}  // namespace mg::sim

@@ -1,0 +1,43 @@
+// Max-plus timelines: serial resources in virtual time.
+//
+// A Timeline models a resource that can serve one activity at a time (the
+// master's thread, the task spawner, the master's network link, one
+// workstation's CPU).  reserve(earliest, duration) books the next available
+// slot at or after `earliest` and returns the interval.  Composing
+// reservations across timelines yields the deterministic schedule of the
+// master/worker protocol — a static-dataflow discrete-event simulation.
+#pragma once
+
+#include <vector>
+
+namespace mg::sim {
+
+struct Interval {
+  double start = 0.0;
+  double end = 0.0;
+  double duration() const { return end - start; }
+};
+
+class Timeline {
+ public:
+  explicit Timeline(double free_from = 0.0) : free_from_(free_from) {}
+
+  /// Books `duration` seconds starting no earlier than `earliest`.
+  Interval reserve(double earliest, double duration);
+
+  /// Time at which the resource is next free.
+  double free_from() const { return free_from_; }
+
+  /// Total booked busy time.
+  double busy_time() const { return busy_; }
+
+  /// Booked intervals in reservation order.
+  const std::vector<Interval>& history() const { return history_; }
+
+ private:
+  double free_from_;
+  double busy_ = 0.0;
+  std::vector<Interval> history_;
+};
+
+}  // namespace mg::sim

@@ -1,0 +1,72 @@
+#include "support/bytes.hpp"
+
+namespace mg::support {
+
+void ByteWriter::write_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::write_i32(std::int32_t v) {
+  const auto u = static_cast<std::uint32_t>(v);
+  for (int i = 0; i < 4; ++i) buffer_.push_back(static_cast<std::uint8_t>(u >> (8 * i)));
+}
+
+void ByteWriter::write_f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  write_u64(bits);
+}
+
+void ByteWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::write_doubles(const std::vector<double>& v) {
+  write_u64(v.size());
+  for (double x : v) write_f64(x);
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (remaining() < n) throw DecodeError("ByteReader: truncated input");
+}
+
+std::uint64_t ByteReader::read_u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::int32_t ByteReader::read_i32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+  return static_cast<std::int32_t>(v);
+}
+
+double ByteReader::read_f64() {
+  const std::uint64_t bits = read_u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string ByteReader::read_string() {
+  const std::uint64_t n = read_u64();
+  if (n > remaining()) throw DecodeError("ByteReader: bad string length");
+  std::string s(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return s;
+}
+
+std::vector<double> ByteReader::read_doubles() {
+  const std::uint64_t n = read_u64();
+  if (n * 8 > remaining()) throw DecodeError("ByteReader: bad array length");
+  std::vector<double> v(n);
+  for (auto& x : v) x = read_f64();
+  return v;
+}
+
+}  // namespace mg::support

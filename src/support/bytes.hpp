@@ -1,0 +1,61 @@
+// Little binary writer/reader pair used for unit marshalling.
+//
+// MANIFOLD task instances exchange units across machines ("an inter-process
+// communication facility roughly equivalent to a small subset of PVM", §2);
+// the wire format here is a fixed little-endian layout so payload sizes are
+// well-defined for the network model and round-trips are exact.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mg::support {
+
+class ByteWriter {
+ public:
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v) { write_u64(static_cast<std::uint64_t>(v)); }
+  void write_i32(std::int32_t v);
+  void write_f64(double v);
+  void write_string(const std::string& s);
+  void write_doubles(const std::vector<double>& v);
+
+  const std::vector<std::uint8_t>& bytes() const { return buffer_; }
+  std::vector<std::uint8_t> take() { return std::move(buffer_); }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Thrown when a reader runs past the end or sees a bad length.
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  std::uint64_t read_u64();
+  std::int64_t read_i64() { return static_cast<std::int64_t>(read_u64()); }
+  std::int32_t read_i32();
+  double read_f64();
+  std::string read_string();
+  std::vector<double> read_doubles();
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool exhausted() const { return remaining() == 0; }
+
+ private:
+  void need(std::size_t n) const;
+
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mg::support

@@ -1,0 +1,50 @@
+// Lightweight precondition / invariant checking.
+//
+// MG_REQUIRE is for public API preconditions (always on); MG_ASSERT is for
+// internal invariants (compiled out in NDEBUG builds except where noted).
+// Violations throw mg::support::ContractViolation so tests can assert on them
+// and long-running simulations fail loudly instead of corrupting state.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace mg::support {
+
+/// Thrown when a contract (precondition or invariant) is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const std::string& msg,
+                                          std::source_location loc = std::source_location::current()) {
+  std::string full = std::string(kind) + " failed: (" + expr + ") at " + loc.file_name() + ":" +
+                     std::to_string(loc.line());
+  if (!msg.empty()) full += " — " + msg;
+  throw ContractViolation(full);
+}
+
+}  // namespace mg::support
+
+#define MG_REQUIRE(cond)                                                 \
+  do {                                                                   \
+    if (!(cond)) ::mg::support::contract_failure("precondition", #cond, ""); \
+  } while (0)
+
+#define MG_REQUIRE_MSG(cond, msg)                                           \
+  do {                                                                      \
+    if (!(cond)) ::mg::support::contract_failure("precondition", #cond, (msg)); \
+  } while (0)
+
+#define MG_ASSERT(cond)                                                \
+  do {                                                                 \
+    if (!(cond)) ::mg::support::contract_failure("invariant", #cond, ""); \
+  } while (0)
+
+#define MG_ASSERT_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) ::mg::support::contract_failure("invariant", #cond, (msg)); \
+  } while (0)

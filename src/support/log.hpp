@@ -1,0 +1,51 @@
+// Minimal thread-safe leveled logger.
+//
+// The coordination runtime is heavily multi-threaded; interleaved iostream
+// writes would tear.  All diagnostic output funnels through here under one
+// mutex.  Default level is Warn so tests and benches stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mg::support {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Sets the process-global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one line (thread-safe, single flush) if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::Info) log_line(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::Debug) log_line(LogLevel::Debug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::Warn) log_line(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::Error) log_line(LogLevel::Error, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace mg::support

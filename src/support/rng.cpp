@@ -1,0 +1,78 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/check.hpp"
+
+namespace mg::support {
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Xoshiro256 Xoshiro256::split() {
+  // Mix a distinct counter into fresh state so children are independent of
+  // both the parent's future output and each other.
+  SplitMix64 sm(next() ^ (0xA0761D6478BD642FULL + ++split_counter_));
+  return Xoshiro256(sm.next());
+}
+
+double Xoshiro256::uniform01() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) {
+  MG_REQUIRE(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t n) {
+  MG_REQUIRE(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // = 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Xoshiro256::normal() {
+  // Box–Muller; u1 in (0,1] so log is finite.
+  double u1 = 1.0 - uniform01();
+  double u2 = uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::vector<std::uint64_t> derive_seeds(std::uint64_t master, std::size_t n) {
+  SplitMix64 sm(master);
+  std::vector<std::uint64_t> out(n);
+  for (auto& s : out) s = sm.next();
+  return out;
+}
+
+}  // namespace mg::support

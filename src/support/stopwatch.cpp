@@ -1,0 +1,9 @@
+#include "support/stopwatch.hpp"
+
+namespace mg::support {
+
+double Stopwatch::elapsed_seconds() const {
+  return std::chrono::duration<double>(clock::now() - start_).count();
+}
+
+}  // namespace mg::support

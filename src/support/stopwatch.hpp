@@ -1,0 +1,37 @@
+// Wall-clock timing, the library's analogue of the paper's `/bin/time`
+// elapsed measurements (§7: "wall clock times ... as it would be measured by
+// a user sitting at the terminal with a stopwatch").
+#pragma once
+
+#include <chrono>
+
+namespace mg::support {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed_seconds() const;
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Runs fn() `runs` times and returns the mean elapsed seconds — the paper's
+/// five-run averaging protocol (§7).
+template <typename Fn>
+double mean_elapsed_seconds(int runs, Fn&& fn) {
+  double total = 0.0;
+  for (int i = 0; i < runs; ++i) {
+    Stopwatch sw;
+    fn();
+    total += sw.elapsed_seconds();
+  }
+  return runs > 0 ? total / runs : 0.0;
+}
+
+}  // namespace mg::support

@@ -1,0 +1,90 @@
+#include "trace/ebb_flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace mg::trace {
+
+int EbbFlowSeries::peak() const {
+  int p = 0;
+  for (int c : counts) p = std::max(p, c);
+  return p;
+}
+
+double EbbFlowSeries::weighted_average() const {
+  if (times.empty()) return 0.0;
+  const double span = end_time - times.front();
+  if (span <= 0.0) return static_cast<double>(counts.empty() ? 0 : counts.front());
+  double area = 0.0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const double t1 = (i + 1 < times.size()) ? times[i + 1] : end_time;
+    area += counts[i] * (t1 - times[i]);
+  }
+  return area / span;
+}
+
+int EbbFlowSeries::count_at(double t) const {
+  if (times.empty() || t < times.front()) return 0;
+  // Last breakpoint <= t.
+  auto it = std::upper_bound(times.begin(), times.end(), t);
+  const std::size_t idx = static_cast<std::size_t>(it - times.begin());
+  return counts[idx - 1];
+}
+
+EbbFlowSeries build_ebb_flow(std::vector<MachineEvent> events, double end_time) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const MachineEvent& a, const MachineEvent& b) { return a.time < b.time; });
+  EbbFlowSeries series;
+  series.end_time = end_time;
+  int count = 0;
+  std::size_t i = 0;
+  if (events.empty() || events.front().time > 0.0) {
+    series.times.push_back(0.0);
+    series.counts.push_back(0);
+  }
+  while (i < events.size()) {
+    const double t = events[i].time;
+    while (i < events.size() && events[i].time == t) {
+      count += events[i].delta;
+      ++i;
+    }
+    MG_REQUIRE_MSG(count >= 0, "machine release without matching claim");
+    if (!series.times.empty() && series.times.back() == t) {
+      series.counts.back() = count;
+    } else {
+      series.times.push_back(t);
+      series.counts.push_back(count);
+    }
+  }
+  if (!series.times.empty()) series.end_time = std::max(end_time, series.times.back());
+  return series;
+}
+
+std::string render_ascii_chart(const EbbFlowSeries& series, int width, int height) {
+  MG_REQUIRE(width > 8 && height > 2);
+  if (series.times.empty()) return "(empty series)\n";
+  const double t0 = series.times.front();
+  const double t1 = series.end_time;
+  const int peak = std::max(series.peak(), 1);
+  std::vector<std::string> rows(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (int c = 0; c < width; ++c) {
+    const double t = t0 + (t1 - t0) * (c + 0.5) / width;
+    const int n = series.count_at(t);
+    const int bar = static_cast<int>(std::lround(static_cast<double>(n) / peak * (height - 1)));
+    for (int r = 0; r <= bar && n > 0; ++r) {
+      rows[static_cast<std::size_t>(height - 1 - r)][static_cast<std::size_t>(c)] = '*';
+    }
+  }
+  std::ostringstream os;
+  os << "machines (peak " << peak << ") vs time [" << t0 << ", " << t1 << "] s; weighted avg "
+     << series.weighted_average() << "\n";
+  for (const auto& row : rows) os << '|' << row << "\n";
+  os << '+' << std::string(static_cast<std::size_t>(width), '-') << "\n";
+  return os.str();
+}
+
+}  // namespace mg::trace

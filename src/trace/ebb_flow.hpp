@@ -1,0 +1,38 @@
+// The "ebb & flow" analysis behind the paper's Figure 1: the number of
+// machines in use as a function of elapsed time, derived from machine
+// claim/release events, plus the time-weighted average machine count
+// (Table 1's `m` column — "weighted average of numbers of machines used").
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mg::trace {
+
+/// A machine coming into use (+1) or falling out of use (-1) at a time.
+struct MachineEvent {
+  double time = 0.0;
+  int delta = 0;  ///< +1 claim, -1 release
+};
+
+/// Step function: machine count over [start, end].
+struct EbbFlowSeries {
+  std::vector<double> times;   ///< breakpoints, ascending; times[0] = start
+  std::vector<int> counts;     ///< counts[i] holds on [times[i], times[i+1])
+  double end_time = 0.0;
+
+  int peak() const;
+  /// Time-weighted average count over [times[0], end_time].
+  double weighted_average() const;
+  int count_at(double t) const;
+};
+
+/// Builds the step series from (unsorted) events; end_time caps the series.
+EbbFlowSeries build_ebb_flow(std::vector<MachineEvent> events, double end_time);
+
+/// Renders the series as an ASCII chart (time on x, machines on y) — the
+/// textual stand-in for the paper's gnuplot Figure 1.
+std::string render_ascii_chart(const EbbFlowSeries& series, int width = 72, int height = 16);
+
+}  // namespace mg::trace

@@ -1,0 +1,42 @@
+#include "trace/trace_log.hpp"
+
+#include <sstream>
+
+namespace mg::trace {
+
+std::string TraceMessage::format() const {
+  std::ostringstream os;
+  os << host << " " << task_id << " " << process_id << " " << seconds << " " << microseconds
+     << "\n    " << task_name << " " << manifold_name << " " << source_file << " " << source_line
+     << " -> " << text;
+  return os.str();
+}
+
+void TraceLog::record(TraceMessage message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  messages_.push_back(std::move(message));
+}
+
+std::vector<TraceMessage> TraceLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return messages_;
+}
+
+std::size_t TraceLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return messages_.size();
+}
+
+void TraceLog::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  messages_.clear();
+}
+
+std::string TraceLog::render() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& m : messages_) os << m.format() << '\n';
+  return os.str();
+}
+
+}  // namespace mg::trace

@@ -1,0 +1,57 @@
+// Chronological trace messages in the paper's §6 format:
+//
+//   bumpa.sen.cwi.nl 262146 140 1048087412 175834
+//     mainprog Master(port in) ResSourceCode.c 136 -> Welcome
+//
+// "It starts with a long label ... the machine on which the task instance
+// runs, the identification of the task instance, the identification of the
+// process instance, a time stamp ... (seconds and microseconds past since
+// midnight (0 hour), January 1, 1970), the name of the task, the name of the
+// manifold, the name of the MANIFOLD source file and the line number where
+// the message is produced.  With such a label in front of an actual message,
+// we always know who is printing, what, where and when."
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mg::trace {
+
+struct TraceMessage {
+  std::string host;
+  std::uint64_t task_id = 0;
+  std::uint64_t process_id = 0;
+  std::int64_t seconds = 0;       ///< timestamp, seconds since the epoch
+  std::int64_t microseconds = 0;  ///< sub-second part
+  std::string task_name;
+  std::string manifold_name;
+  std::string source_file;
+  int source_line = 0;
+  std::string text;
+
+  /// Renders the two-line paper format.
+  std::string format() const;
+};
+
+/// Thread-safe collector.  Timestamps are supplied by the caller so both the
+/// real-threaded runtime (wall clock) and the cluster simulator (virtual
+/// clock) can produce identical-looking traces.
+class TraceLog {
+ public:
+  void record(TraceMessage message);
+
+  std::vector<TraceMessage> snapshot() const;
+  std::size_t size() const;
+  void clear();
+
+  /// All messages, formatted and newline-joined, in record order.
+  std::string render() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceMessage> messages_;
+};
+
+}  // namespace mg::trace

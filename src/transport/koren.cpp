@@ -1,0 +1,72 @@
+#include "transport/koren.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace mg::transport {
+
+double koren_phi(double r) {
+  return std::max(0.0, std::min(2.0 * r, std::min((1.0 + 2.0 * r) / 3.0, 2.0)));
+}
+
+namespace {
+
+/// Limited face value between `up` (upstream) and `down` (downstream) with
+/// `upup` one more node upstream.  `has_upup` falls back to first order.
+double limited_face(double upup, double up, double down, bool has_upup) {
+  if (!has_upup) return up;
+  const double den = up - upup;
+  if (std::abs(den) < 1e-300) return up;
+  const double r = (down - up) / den;
+  return up + 0.5 * koren_phi(r) * den;
+}
+
+}  // namespace
+
+void koren_rhs(const grid::Grid2D& g, const TransportProblem& problem,
+               const std::vector<double>& nodal, std::vector<double>& out) {
+  MG_REQUIRE(nodal.size() == g.node_count());
+  const std::size_t nx = g.nodes_x();
+  const std::size_t ny = g.nodes_y();
+  const double hx = g.hx();
+  const double hy = g.hy();
+  const double ax = problem.ax;
+  const double ay = problem.ay;
+  const double eps = problem.eps;
+
+  auto at = [&](std::size_t i, std::size_t j) { return nodal[j * nx + i]; };
+
+  // Face value in x between nodes (i, j) and (i+1, j); 0 <= i <= nx-2.
+  auto face_x = [&](std::size_t i, std::size_t j) {
+    if (ax >= 0.0) {
+      const bool has = i >= 1;
+      return limited_face(has ? at(i - 1, j) : 0.0, at(i, j), at(i + 1, j), has);
+    }
+    const bool has = i + 2 < nx;
+    return limited_face(has ? at(i + 2, j) : 0.0, at(i + 1, j), at(i, j), has);
+  };
+  auto face_y = [&](std::size_t i, std::size_t j) {
+    if (ay >= 0.0) {
+      const bool has = j >= 1;
+      return limited_face(has ? at(i, j - 1) : 0.0, at(i, j), at(i, j + 1), has);
+    }
+    const bool has = j + 2 < ny;
+    return limited_face(has ? at(i, j + 2) : 0.0, at(i, j + 1), at(i, j), has);
+  };
+
+  out.resize(g.interior_count());
+  for (std::size_t j = 1; j <= g.interior_y(); ++j) {
+    for (std::size_t i = 1; i <= g.interior_x(); ++i) {
+      const double adv_x = -ax * (face_x(i, j) - face_x(i - 1, j)) / hx;
+      const double adv_y = -ay * (face_y(i, j) - face_y(i, j - 1)) / hy;
+      const double diff =
+          eps * ((at(i - 1, j) - 2.0 * at(i, j) + at(i + 1, j)) / (hx * hx) +
+                 (at(i, j - 1) - 2.0 * at(i, j) + at(i, j + 1)) / (hy * hy));
+      out[g.interior_index(i, j)] = adv_x + adv_y + diff;
+    }
+  }
+}
+
+}  // namespace mg::transport

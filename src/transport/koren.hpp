@@ -1,0 +1,38 @@
+// Third-order upwind-biased (kappa = 1/3) advection with the Koren limiter.
+//
+// The original CWI sparse-grid transport solvers used limited third-order
+// upwind-biased advection; the limiter is due to B. Koren — the third author
+// of the paper.  The limited face value for velocity a > 0 at face i+1/2 is
+//
+//   u_{i+1/2} = u_i + (1/2) phi(r_i) (u_i - u_{i-1}),
+//   r_i = (u_{i+1} - u_i) / (u_i - u_{i-1}),
+//   phi(r) = max(0, min(2r, min((1 + 2r)/3, 2)))        (the Koren limiter)
+//
+// giving the kappa = 1/3 scheme in smooth monotone regions and falling back
+// towards first-order upwind near extrema (TVD-like, no new over/under-
+// shoots).  Faces whose widened stencil leaves the grid fall back to
+// first-order upwind.
+//
+// The scheme is nonlinear in u, so it is used as the right-hand side only;
+// the Rosenbrock stage matrix uses the first-order upwind Jacobian (ROS2 is
+// a W-method: order 2 for any A).
+#pragma once
+
+#include <vector>
+
+#include "grid/grid2d.hpp"
+#include "transport/problem.hpp"
+
+namespace mg::transport {
+
+/// The Koren limiter phi(r).
+double koren_phi(double r);
+
+/// Evaluates the full semi-discrete right-hand side (limited advection +
+/// central diffusion) at the interior nodes.  `nodal` holds the complete
+/// nodal field (boundary values included, already set for the evaluation
+/// time); `out` receives interior_count() values in interior ordering.
+void koren_rhs(const grid::Grid2D& g, const TransportProblem& problem,
+               const std::vector<double>& nodal, std::vector<double>& out);
+
+}  // namespace mg::transport

@@ -1,0 +1,41 @@
+#include "transport/problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace mg::transport {
+
+double TransportProblem::exact(double x, double y, double t) const {
+  // Solution of u_t + a.grad u = eps lap u with u(.,0) = A exp(-r^2/sigma^2):
+  // the pulse centre advects with velocity a while the squared width grows as
+  // sigma^2 + 4 eps t and the amplitude decays by sigma^2/(sigma^2 + 4 eps t).
+  const double s2 = sigma * sigma + 4.0 * eps * t;
+  const double dx = x - x0 - ax * t;
+  const double dy = y - y0 - ay * t;
+  return amplitude * (sigma * sigma / s2) * std::exp(-(dx * dx + dy * dy) / s2);
+}
+
+double TransportProblem::cell_peclet(double h) const {
+  const double a = std::max(std::abs(ax), std::abs(ay));
+  return eps > 0.0 ? a * h / eps : std::numeric_limits<double>::infinity();
+}
+
+std::string TransportProblem::describe() const {
+  std::ostringstream os;
+  os << "advection-diffusion: a=(" << ax << "," << ay << "), eps=" << eps << ", pulse(x0=" << x0
+     << ",y0=" << y0 << ",sigma=" << sigma << ",A=" << amplitude << ")";
+  return os.str();
+}
+
+const char* to_string(AdvectionScheme s) {
+  switch (s) {
+    case AdvectionScheme::Upwind1: return "upwind1";
+    case AdvectionScheme::Central2: return "central2";
+    case AdvectionScheme::ThirdOrderKoren: return "koren3";
+  }
+  return "?";
+}
+
+}  // namespace mg::transport

@@ -1,0 +1,48 @@
+// The model problem of the paper's application: a time-dependent
+// advection–diffusion ("transport") equation on the unit square,
+//
+//   u_t + a . grad(u) = eps * laplace(u),        (x,y) in (0,1)^2,
+//
+// with Dirichlet boundary data.  We use a constant velocity field and a
+// Gaussian pulse, for which the free-space solution is known in closed form;
+// boundary values are taken from that exact solution, so every discrete
+// solution can be verified against it (the original CWI code's concrete
+// problem is not published — DESIGN.md records this substitution).
+#pragma once
+
+#include <string>
+
+namespace mg::transport {
+
+struct TransportProblem {
+  double ax = 0.8;        ///< advection velocity, x component
+  double ay = 0.4;        ///< advection velocity, y component
+  double eps = 0.02;      ///< diffusion coefficient (> 0)
+  double x0 = 0.3;        ///< initial pulse centre, x
+  double y0 = 0.3;        ///< initial pulse centre, y
+  double sigma = 0.12;    ///< initial pulse width
+  double amplitude = 1.0;
+
+  /// Exact solution: advected, diffusing Gaussian.
+  double exact(double x, double y, double t) const;
+
+  /// Initial condition u(x, y, 0).
+  double initial(double x, double y) const { return exact(x, y, 0.0); }
+
+  /// Cell Peclet number a*h/eps for mesh width h (stability diagnostics).
+  double cell_peclet(double h) const;
+
+  std::string describe() const;
+};
+
+/// Spatial discretisation of the advective term.
+enum class AdvectionScheme {
+  Upwind1,          ///< first-order upwind: monotone, diffusive
+  Central2,         ///< second-order central: accurate, needs modest cell Peclet
+  ThirdOrderKoren,  ///< kappa=1/3 upwind-biased with the Koren limiter
+                    ///< (nonlinear; stage matrix uses the upwind Jacobian)
+};
+
+const char* to_string(AdvectionScheme s);
+
+}  // namespace mg::transport

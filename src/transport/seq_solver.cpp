@@ -1,0 +1,74 @@
+#include "transport/seq_solver.hpp"
+
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace mg::transport {
+
+GlobalData::GlobalData(int root, int level)
+    : terms(grid::combination_terms(root, level)), solutions(terms.size()) {}
+
+void GlobalData::store(std::size_t index, grid::Field field) {
+  MG_REQUIRE(index < terms.size());
+  MG_REQUIRE(field.grid() == terms[index].grid);
+  solutions[index] = std::move(field);
+}
+
+bool GlobalData::complete() const {
+  for (const auto& s : solutions) {
+    if (!s.has_value()) return false;
+  }
+  return true;
+}
+
+std::size_t SolveResult::total_accepted_steps() const {
+  std::size_t n = 0;
+  for (const auto& r : records) n += r.stats.accepted;
+  return n;
+}
+
+std::size_t SolveResult::total_stage_solves() const {
+  std::size_t n = 0;
+  for (const auto& r : records) n += r.stats.stage_solves;
+  return n;
+}
+
+SolveResult solve_sequential(const ProgramConfig& config) {
+  MG_REQUIRE(config.level >= 0);
+  support::Stopwatch total;
+
+  // "Initialization data structure and some initial computations" (§3 l.20).
+  support::Stopwatch phase;
+  GlobalData data(config.root, config.level);
+  const SubsolveConfig kernel = config.kernel_config();
+  const double init_seconds = phase.elapsed_seconds();
+
+  // "The heavy computational work": the nested loop over lm and l (§3
+  // l.22-27).  GlobalData.terms is laid out in exactly this visit order.
+  phase.reset();
+  std::vector<GridRunRecord> records;
+  records.reserve(data.terms.size());
+  for (std::size_t k = 0; k < data.terms.size(); ++k) {
+    const auto& term = data.terms[k];
+    SubsolveResult r = subsolve(term.grid, kernel);
+    records.push_back({term.grid, term.coefficient, r.stats, r.elapsed_seconds});
+    data.store(k, std::move(r.solution));
+  }
+  const double subsolve_seconds = phase.elapsed_seconds();
+
+  // "Prolongation work" (§3 l.29): combine onto the finest grid.
+  phase.reset();
+  MG_ASSERT(data.complete());
+  std::vector<grid::Field> components;
+  components.reserve(data.solutions.size());
+  for (auto& s : data.solutions) components.push_back(std::move(*s));
+  grid::Field combined =
+      grid::combine(data.terms, components, grid::finest_grid(config.root, config.level));
+  const double prolongation_seconds = phase.elapsed_seconds();
+
+  SolveResult result{std::move(combined), std::move(records), init_seconds, subsolve_seconds,
+                     prolongation_seconds, total.elapsed_seconds()};
+  return result;
+}
+
+}  // namespace mg::transport

@@ -1,0 +1,81 @@
+// The sequential program of the paper's §3 (`SeqSourceCode.c`), restated:
+//
+//   root  = atoi(argv[1]);   // refinement level of the coarsest grid
+//   level = atoi(argv[2]);   // additional refinement above the root level
+//   le_tol = atof(argv[3]);  // tolerance of the integrator
+//   ... initialise global data structure ...
+//   for (lm = level-1; lm <= level; lm++)
+//     for (l = 0; l <= lm; l++)
+//       subsolve(l, lm - l);          // heavy computational work
+//   ... prolongation work ...
+//
+// SeqSolver is the faithful sequential baseline: one thread, grids visited
+// in the paper's order, results stored in a GlobalData structure ("the huge
+// global data structure"), then prolongated and combined onto the finest
+// grid.  The concurrent version (src/core) must reproduce its output
+// exactly (§6: "written to a file and are exactly the same as in the
+// sequential version").
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "grid/combination.hpp"
+#include "grid/field.hpp"
+#include "transport/subsolve.hpp"
+
+namespace mg::transport {
+
+/// Program parameters (the paper's argv[1..3] plus the model problem).
+struct ProgramConfig {
+  int root = 2;            ///< paper §7: "we have used 2"
+  int level = 3;           ///< paper §7: 0 through 15
+  double le_tol = 1e-3;    ///< paper §7: 1.0e-3 and 1.0e-4
+  SubsolveConfig kernel;   ///< problem, scheme, solver, time interval
+
+  /// Kernel config with le_tol applied (kernel.le_tol mirrors le_tol).
+  SubsolveConfig kernel_config() const {
+    SubsolveConfig k = kernel;
+    k.le_tol = le_tol;
+    return k;
+  }
+};
+
+/// The "huge global data structure": per-grid solutions keyed by the visit
+/// order of the nested loop, plus the combination metadata.
+struct GlobalData {
+  std::vector<grid::CombinationTerm> terms;
+  std::vector<std::optional<grid::Field>> solutions;  ///< indexed like terms
+
+  explicit GlobalData(int root, int level);
+
+  /// Stores a subsolve result; index must match the term's position.
+  void store(std::size_t index, grid::Field field);
+
+  bool complete() const;
+};
+
+/// One row of per-grid bookkeeping.
+struct GridRunRecord {
+  grid::Grid2D grid;
+  double coefficient;
+  ros::Ros2Stats stats;
+  double elapsed_seconds;
+};
+
+struct SolveResult {
+  grid::Field combined;                 ///< combination on the finest grid
+  std::vector<GridRunRecord> records;   ///< per component grid, visit order
+  double init_seconds = 0.0;
+  double subsolve_seconds = 0.0;        ///< total time in the nested loop
+  double prolongation_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  std::size_t total_accepted_steps() const;
+  std::size_t total_stage_solves() const;
+};
+
+/// Runs the sequential program.  Deterministic for fixed config.
+SolveResult solve_sequential(const ProgramConfig& config);
+
+}  // namespace mg::transport

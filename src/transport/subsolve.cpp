@@ -1,0 +1,35 @@
+#include "transport/subsolve.hpp"
+
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace mg::transport {
+
+SubsolveResult subsolve(const grid::Grid2D& g, const SubsolveConfig& config) {
+  MG_REQUIRE(config.t1 > config.t0);
+  support::Stopwatch sw;
+
+  TransportSystem system(g, config.problem, config.system);
+
+  // Initial condition at t0.
+  grid::Field init(g);
+  init.sample([&](double x, double y) { return config.problem.exact(x, y, config.t0); });
+  ros::Vec u = system.restrict_interior(init);
+
+  ros::Ros2Options opts;
+  opts.tol = config.le_tol;
+  opts.t0 = config.t0;
+  opts.t1 = config.t1;
+
+  ros::Ros2Stats stats = ros::integrate(system, u, opts);
+
+  SubsolveResult result{system.expand(u, config.t1), stats, sw.elapsed_seconds()};
+  return result;
+}
+
+std::size_t subsolve_payload_bytes(const grid::Grid2D& g) {
+  // One double per node plus a small fixed header of grid/problem parameters.
+  return g.node_count() * sizeof(double) + 128;
+}
+
+}  // namespace mg::transport

@@ -1,0 +1,41 @@
+// subsolve(l, m) — the paper's compute-intensive kernel (§3 lines 34-41).
+//
+// "Heavy computational work on grid (l, m)": integrate the transport problem
+// on grid (l, m) from t0 to t1 with the adaptive Rosenbrock solver, solving
+// a linear system every stage.  The routine reads and writes data only of
+// its own grid — the concurrency property that makes it the restructuring
+// candidate — so it takes a value parameter pack and returns a value result
+// with no global state.
+#pragma once
+
+#include "grid/field.hpp"
+#include "grid/grid2d.hpp"
+#include "rosenbrock/ros2.hpp"
+#include "transport/problem.hpp"
+#include "transport/system.hpp"
+
+namespace mg::transport {
+
+struct SubsolveConfig {
+  TransportProblem problem;
+  SystemOptions system;
+  double le_tol = 1e-3;  ///< the integrator tolerance (paper's argv[3])
+  double t0 = 0.0;
+  double t1 = 0.4;
+};
+
+struct SubsolveResult {
+  grid::Field solution;  ///< full nodal field at t1 (boundary = exact data)
+  ros::Ros2Stats stats;
+  double elapsed_seconds = 0.0;
+};
+
+/// Solves the transport problem on grid (l, m).  Pure function of its
+/// arguments; safe to run concurrently for different grids.
+SubsolveResult subsolve(const grid::Grid2D& g, const SubsolveConfig& config);
+
+/// Approximate marshalled size of a subsolve work unit / result in bytes
+/// (used by the cluster simulator's network model).
+std::size_t subsolve_payload_bytes(const grid::Grid2D& g);
+
+}  // namespace mg::transport

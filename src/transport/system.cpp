@@ -1,0 +1,185 @@
+#include "transport/system.hpp"
+
+#include <stdexcept>
+
+#include "linalg/precond.hpp"
+#include "support/check.hpp"
+#include "transport/koren.hpp"
+
+namespace mg::transport {
+
+const char* to_string(StageSolverKind k) {
+  switch (k) {
+    case StageSolverKind::BandedLU: return "banded-lu";
+    case StageSolverKind::BiCgStabIlu0: return "bicgstab+ilu0";
+    case StageSolverKind::BiCgStabJacobi: return "bicgstab+jacobi";
+  }
+  return "?";
+}
+
+TransportSystem::TransportSystem(grid::Grid2D grid, TransportProblem problem, SystemOptions options)
+    : grid_(grid), problem_(problem), options_(options) {
+  assemble();
+}
+
+void TransportSystem::assemble() {
+  const std::size_t nx = grid_.interior_x();
+  const std::size_t ny = grid_.interior_y();
+  const double hx = grid_.hx();
+  const double hy = grid_.hy();
+  const double eps = problem_.eps;
+  const double ax = problem_.ax;
+  const double ay = problem_.ay;
+
+  // Stencil weights: contribution of neighbour value to du_ij/dt.
+  double wW, wE, wS, wN, wC;  // west, east, south, north, centre
+  const double dxx = eps / (hx * hx);
+  const double dyy = eps / (hy * hy);
+  if (options_.scheme == AdvectionScheme::Central2) {
+    wW = dxx + ax / (2.0 * hx);
+    wE = dxx - ax / (2.0 * hx);
+    wS = dyy + ay / (2.0 * hy);
+    wN = dyy - ay / (2.0 * hy);
+    wC = -2.0 * dxx - 2.0 * dyy;
+  } else {  // Upwind1, and the stage-matrix Jacobian for ThirdOrderKoren
+            // (ROS2 is a W-method: the first-order upwind operator is a
+            // valid A for the limited third-order right-hand side)
+    // -a du/dx with upwinding: for ax > 0 use (u_ij - u_{i-1,j})/hx.
+    const double axp = ax > 0.0 ? ax : 0.0;  // positive part
+    const double axm = ax < 0.0 ? -ax : 0.0; // magnitude of negative part
+    const double ayp = ay > 0.0 ? ay : 0.0;
+    const double aym = ay < 0.0 ? -ay : 0.0;
+    wW = dxx + axp / hx;
+    wE = dxx + axm / hx;
+    wS = dyy + ayp / hy;
+    wN = dyy + aym / hy;
+    wC = -2.0 * dxx - 2.0 * dyy - axp / hx - axm / hx - ayp / hy - aym / hy;
+  }
+
+  linalg::CsrBuilder builder(nx * ny, nx * ny);
+  boundary_couplings_.clear();
+  for (std::size_t j = 1; j <= ny; ++j) {
+    for (std::size_t i = 1; i <= nx; ++i) {
+      const std::size_t row = grid_.interior_index(i, j);
+      builder.add(row, row, wC);
+      auto couple = [&](std::size_t in, std::size_t jn, double w) {
+        if (grid_.is_boundary(in, jn)) {
+          boundary_couplings_.push_back({row, w, grid_.x(in), grid_.y(jn)});
+        } else {
+          builder.add(row, grid_.interior_index(in, jn), w);
+        }
+      };
+      couple(i - 1, j, wW);
+      couple(i + 1, j, wE);
+      couple(i, j - 1, wS);
+      couple(i, j + 1, wN);
+    }
+  }
+  jacobian_ = builder.build();
+}
+
+void TransportSystem::rhs(double t, const ros::Vec& u, ros::Vec& f) {
+  MG_REQUIRE(u.size() == dimension());
+  if (options_.scheme == AdvectionScheme::ThirdOrderKoren) {
+    // Nonlinear limited scheme: evaluate flux-form on the full nodal field
+    // (boundary nodes carry the Dirichlet data at time t).
+    nodal_scratch_.resize(grid_.node_count());
+    for (std::size_t j = 0; j < grid_.nodes_y(); ++j) {
+      for (std::size_t i = 0; i < grid_.nodes_x(); ++i) {
+        nodal_scratch_[grid_.node_index(i, j)] =
+            grid_.is_boundary(i, j) ? problem_.exact(grid_.x(i), grid_.y(j), t)
+                                    : u[grid_.interior_index(i, j)];
+      }
+    }
+    koren_rhs(grid_, problem_, nodal_scratch_, f);
+    return;
+  }
+  jacobian_.multiply(u, f);
+  for (const auto& bc : boundary_couplings_) {
+    f[bc.row] += bc.coefficient * problem_.exact(bc.bx, bc.by, t);
+  }
+}
+
+namespace {
+
+class BandedStageSolver final : public ros::StageSolver {
+ public:
+  explicit BandedStageSolver(linalg::BandedMatrix matrix) : matrix_(std::move(matrix)) {
+    matrix_.factorize();
+  }
+  void solve(const ros::Vec& rhs, ros::Vec& x) override { matrix_.solve(rhs, x); }
+
+ private:
+  linalg::BandedMatrix matrix_;
+};
+
+class KrylovStageSolver final : public ros::StageSolver {
+ public:
+  KrylovStageSolver(linalg::CsrMatrix matrix, linalg::PrecondKind precond,
+                    linalg::SolveOptions opts)
+      : matrix_(std::move(matrix)), precond_(linalg::make_preconditioner(precond, matrix_)),
+        opts_(opts) {}
+
+  void solve(const ros::Vec& rhs, ros::Vec& x) override {
+    x.assign(matrix_.rows(), 0.0);
+    const auto report = linalg::bicgstab(matrix_, rhs, x, *precond_, opts_);
+    if (!report.converged) {
+      throw std::runtime_error("TransportSystem: BiCGSTAB failed to converge (residual " +
+                               std::to_string(report.residual_norm) + ")");
+    }
+  }
+
+ private:
+  linalg::CsrMatrix matrix_;
+  std::unique_ptr<linalg::Preconditioner> precond_;
+  linalg::SolveOptions opts_;
+};
+
+}  // namespace
+
+std::unique_ptr<ros::StageSolver> TransportSystem::prepare_stage(double /*t*/, const ros::Vec& u,
+                                                                 double gamma_h) {
+  MG_REQUIRE(u.size() == dimension());
+  // Stage matrix (I - gamma_h * J); rebuilt per step as in the original code.
+  linalg::CsrMatrix stage = linalg::shifted_identity(jacobian_, 1.0, -gamma_h);
+  switch (options_.solver) {
+    case StageSolverKind::BandedLU:
+      return std::make_unique<BandedStageSolver>(
+          linalg::BandedMatrix::from_csr(stage, grid_.interior_x()));
+    case StageSolverKind::BiCgStabIlu0:
+      return std::make_unique<KrylovStageSolver>(std::move(stage), linalg::PrecondKind::Ilu0,
+                                                 options_.krylov);
+    case StageSolverKind::BiCgStabJacobi:
+      return std::make_unique<KrylovStageSolver>(std::move(stage), linalg::PrecondKind::Jacobi,
+                                                 options_.krylov);
+  }
+  throw std::logic_error("TransportSystem: unknown solver kind");
+}
+
+ros::Vec TransportSystem::restrict_interior(const grid::Field& field) const {
+  MG_REQUIRE(field.grid() == grid_);
+  ros::Vec u(dimension());
+  for (std::size_t j = 1; j <= grid_.interior_y(); ++j) {
+    for (std::size_t i = 1; i <= grid_.interior_x(); ++i) {
+      u[grid_.interior_index(i, j)] = field.at(i, j);
+    }
+  }
+  return u;
+}
+
+grid::Field TransportSystem::expand(const ros::Vec& u, double t) const {
+  MG_REQUIRE(u.size() == dimension());
+  grid::Field field(grid_);
+  for (std::size_t j = 0; j < grid_.nodes_y(); ++j) {
+    for (std::size_t i = 0; i < grid_.nodes_x(); ++i) {
+      if (grid_.is_boundary(i, j)) {
+        field.at(i, j) = problem_.exact(grid_.x(i), grid_.y(j), t);
+      } else {
+        field.at(i, j) = u[grid_.interior_index(i, j)];
+      }
+    }
+  }
+  return field;
+}
+
+}  // namespace mg::transport

@@ -1,0 +1,76 @@
+// Semi-discretisation of the transport problem on one Grid2D, exposed as an
+// OdeSystem for ROS2.
+//
+// Unknowns are the interior nodes in lexicographic order.  The problem is
+// linear, F(t, u) = J u + g(t), where J is the (constant) 5-point stencil
+// operator and g(t) carries the time-dependent Dirichlet boundary data.  The
+// stage matrix (I - gamma*h*J) is assembled and factorised anew for every
+// step — deliberately mirroring the cost profile the paper describes ("this
+// A matrix must be built up in the program which takes a lot of time").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "grid/field.hpp"
+#include "grid/grid2d.hpp"
+#include "linalg/banded.hpp"
+#include "linalg/bicgstab.hpp"
+#include "linalg/csr.hpp"
+#include "rosenbrock/ode_system.hpp"
+#include "transport/problem.hpp"
+
+namespace mg::transport {
+
+/// How the Rosenbrock stage systems are solved.
+enum class StageSolverKind {
+  BandedLU,       ///< direct band factorisation (default; deterministic)
+  BiCgStabIlu0,   ///< Krylov with ILU(0)
+  BiCgStabJacobi, ///< Krylov with diagonal preconditioning
+};
+
+const char* to_string(StageSolverKind k);
+
+struct SystemOptions {
+  AdvectionScheme scheme = AdvectionScheme::Central2;
+  StageSolverKind solver = StageSolverKind::BandedLU;
+  linalg::SolveOptions krylov;  ///< used by the BiCGSTAB variants
+};
+
+class TransportSystem final : public ros::OdeSystem {
+ public:
+  TransportSystem(grid::Grid2D grid, TransportProblem problem, SystemOptions options = {});
+
+  std::size_t dimension() const override { return grid_.interior_count(); }
+  void rhs(double t, const ros::Vec& u, ros::Vec& f) override;
+  std::unique_ptr<ros::StageSolver> prepare_stage(double t, const ros::Vec& u,
+                                                  double gamma_h) override;
+
+  const grid::Grid2D& grid() const { return grid_; }
+  const linalg::CsrMatrix& jacobian() const { return jacobian_; }
+
+  /// Packs a nodal field's interior values into an unknown vector.
+  ros::Vec restrict_interior(const grid::Field& field) const;
+
+  /// Expands an unknown vector to a full nodal field, filling boundary nodes
+  /// with the exact Dirichlet data at time t.
+  grid::Field expand(const ros::Vec& u, double t) const;
+
+ private:
+  void assemble();
+
+  struct BoundaryCoupling {
+    std::size_t row;     ///< interior unknown index
+    double coefficient;  ///< stencil weight
+    double bx, by;       ///< boundary node coordinates
+  };
+
+  grid::Grid2D grid_;
+  TransportProblem problem_;
+  SystemOptions options_;
+  linalg::CsrMatrix jacobian_;
+  std::vector<BoundaryCoupling> boundary_couplings_;
+  std::vector<double> nodal_scratch_;  ///< work array for the limited scheme
+};
+
+}  // namespace mg::transport

@@ -1,0 +1,78 @@
+// Cross-checks between the published MANIFOLD artifacts (assets/*.m,
+// assets/mainprog.mlink, assets/mainprog.config) and the C++ implementation:
+// the event vocabulary, the MLINK task spec and the CONFIG host map must
+// match what the code uses.  The asset directory is located relative to
+// this source file, so the tests run from any working directory.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/protocol.hpp"
+#include "manifold/mlink.hpp"
+
+namespace {
+
+using namespace mg;
+
+std::string asset_path(const std::string& name) {
+  // tests/test_assets.cpp -> <repo>/assets/<name>
+  std::string dir = __FILE__;
+  const auto slash = dir.find_last_of('/');
+  dir = dir.substr(0, slash);              // .../tests
+  dir = dir.substr(0, dir.find_last_of('/'));  // repo root
+  return dir + "/assets/" + name;
+}
+
+std::string read_asset(const std::string& name) {
+  std::ifstream in(asset_path(name));
+  EXPECT_TRUE(in.good()) << "missing asset " << name;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(Assets, ProtocolEventsAppearInTheManifoldSource) {
+  const std::string source = read_asset("protocolMW.m");
+  for (const char* event :
+       {mw::ProtocolEvents::create_pool, mw::ProtocolEvents::create_worker,
+        mw::ProtocolEvents::rendezvous, mw::ProtocolEvents::a_rendezvous,
+        mw::ProtocolEvents::finished, mw::ProtocolEvents::death_worker}) {
+    EXPECT_NE(source.find(event), std::string::npos)
+        << "event '" << event << "' not found in protocolMW.m";
+  }
+}
+
+TEST(Assets, ProtocolSourceDeclaresTheKkResultStream) {
+  const std::string source = read_asset("protocolMW.m");
+  EXPECT_NE(source.find("stream KK worker -> master.dataport"), std::string::npos);
+}
+
+TEST(Assets, ProtocolSourceDeclaresThePriority) {
+  const std::string source = read_asset("protocolMW.m");
+  EXPECT_NE(source.find("priority create_worker > rendezvous"), std::string::npos);
+}
+
+TEST(Assets, MainprogInvokesProtocolMwWithMasterAndWorker) {
+  const std::string source = read_asset("mainprog.m");
+  EXPECT_NE(source.find("ProtocolMW(Master(argv), Worker)"), std::string::npos);
+}
+
+TEST(Assets, MlinkFileParsesToThePaperSpec) {
+  const auto file = iwim::parse_mlink(read_asset("mainprog.mlink"));
+  const auto builtin = iwim::TaskCompositionSpec::paper_distributed();
+  EXPECT_EQ(file.spec.perpetual, builtin.perpetual);
+  EXPECT_DOUBLE_EQ(file.spec.load_threshold, builtin.load_threshold);
+  EXPECT_EQ(file.spec.weights, builtin.weights);
+  EXPECT_EQ(file.task_name, builtin.task_name);
+}
+
+TEST(Assets, ConfigFileParsesToThePaperHostMap) {
+  const auto map = iwim::parse_config(read_asset("mainprog.config"));
+  const auto builtin = iwim::HostMap::paper_hosts();
+  EXPECT_EQ(map.startup_host, builtin.startup_host);
+  EXPECT_EQ(map.worker_hosts, builtin.worker_hosts);
+}
+
+}  // namespace

@@ -1,0 +1,326 @@
+// Tests for the cluster model: host specs, the network model, the two cost
+// models, and the virtual-time simulation that regenerates Table 1 and
+// Figure 1 — including the qualitative properties the paper reports.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/cluster_sim.hpp"
+#include "cluster/cost_model.hpp"
+#include "cluster/host.hpp"
+#include "cluster/network.hpp"
+#include "grid/combination.hpp"
+#include "support/check.hpp"
+
+namespace {
+
+using namespace mg;
+using namespace mg::cluster;
+
+// ---- cluster spec -----------------------------------------------------------
+
+TEST(Cluster, PaperSpecHas32AthlonsInTheRightMix) {
+  const auto spec = ClusterSpec::paper();
+  ASSERT_EQ(spec.size(), 32u);
+  int n1200 = 0, n1400 = 0, n1466 = 0;
+  for (const auto& h : spec.hosts) {
+    if (h.mhz == 1200.0) ++n1200;
+    if (h.mhz == 1400.0) ++n1400;
+    if (h.mhz == 1466.0) ++n1466;
+  }
+  EXPECT_EQ(n1200, 24);
+  EXPECT_EQ(n1400, 5);
+  EXPECT_EQ(n1466, 3);
+  EXPECT_EQ(spec.startup().name, "bumpa.sen.cwi.nl");
+}
+
+TEST(Cluster, HomogeneousSpec) {
+  const auto spec = ClusterSpec::homogeneous(8, 1000.0);
+  EXPECT_EQ(spec.size(), 8u);
+  for (const auto& h : spec.hosts) EXPECT_DOUBLE_EQ(h.mhz, 1000.0);
+}
+
+// ---- network ------------------------------------------------------------------
+
+TEST(Network, TransferTimeHasLatencyPlusBandwidthTerm) {
+  NetworkModel net;
+  const double t0 = net.transfer_seconds(0);
+  EXPECT_DOUBLE_EQ(t0, net.latency_s);
+  const double t1mb = net.transfer_seconds(1'000'000);
+  EXPECT_NEAR(t1mb - t0, 8e6 / (net.bandwidth_bps * net.efficiency), 1e-12);
+  EXPECT_GT(net.transfer_seconds(2'000'000), t1mb);
+}
+
+// ---- Athlon cost model -----------------------------------------------------------
+
+TEST(AthlonModel, SequentialTimesMatchPaperColumn) {
+  // The calibration target: st within ~15% of the paper at high levels.
+  const AthlonCostModel cost;
+  const double st15 = cost.sequential_seconds(2, 15, 1e-3, 1200.0);
+  EXPECT_NEAR(st15, 2019.0, 0.15 * 2019.0);
+  const double st10 = cost.sequential_seconds(2, 10, 1e-3, 1200.0);
+  EXPECT_NEAR(st10, 24.14, 0.3 * 24.14);
+}
+
+TEST(AthlonModel, ToleranceFactorRoughlyDoubles) {
+  const AthlonCostModel cost;
+  const double r = cost.sequential_seconds(2, 12, 1e-4, 1200.0) /
+                   cost.sequential_seconds(2, 12, 1e-3, 1200.0);
+  EXPECT_NEAR(r, 2.04, 0.15);
+}
+
+TEST(AthlonModel, FasterHostIsProportionallyFaster) {
+  const AthlonCostModel cost;
+  const grid::Grid2D g(2, 3, 3);
+  const double slow = cost.subsolve_seconds(g, 1e-3, 1200.0);
+  const double fast = cost.subsolve_seconds(g, 1e-3, 1466.0);
+  EXPECT_NEAR(slow / fast, 1466.0 / 1200.0, 1e-9);
+}
+
+TEST(AthlonModel, SquareGridsCostMoreThanThinOnes) {
+  // Within one family all grids have the same cell count, but the aspect
+  // weight makes the near-square grids the expensive ones — the load
+  // imbalance that keeps the paper's m well below the worker count.
+  const AthlonCostModel cost;
+  const double thin = cost.subsolve_seconds(grid::Grid2D(2, 0, 10), 1e-3, 1200.0);
+  const double square = cost.subsolve_seconds(grid::Grid2D(2, 5, 5), 1e-3, 1200.0);
+  EXPECT_GT(square, thin);
+}
+
+TEST(AthlonModel, SequentialDecomposesIntoParts) {
+  const AthlonCostModel cost;
+  double sum = cost.init_seconds(1200.0) + cost.prolongation_seconds(2, 4, 1200.0);
+  for (const auto& t : grid::combination_terms(2, 4)) {
+    sum += cost.subsolve_seconds(t.grid, 1e-3, 1200.0);
+  }
+  EXPECT_NEAR(cost.sequential_seconds(2, 4, 1e-3, 1200.0), sum, 1e-12);
+}
+
+// ---- measured cost model ----------------------------------------------------------
+
+TEST(MeasuredModel, RecoversSyntheticParameters) {
+  // Generate samples from a known law and check the fit recovers it.
+  const double c_true = 3e-7, kappa_true = 0.05;
+  std::vector<MeasuredCostModel::Sample> samples;
+  for (int lm = 2; lm <= 6; ++lm) {
+    for (int l = 0; l <= lm; ++l) {
+      const grid::Grid2D g(2, l, lm - l);
+      const double cells = static_cast<double>(g.cells_x()) * static_cast<double>(g.cells_y());
+      const double sec =
+          c_true * cells * (1.0 + kappa_true * std::pow(2.0, std::min(l, lm - l)));
+      samples.push_back({2, l, lm - l, 1e-3, sec});
+      samples.push_back({2, l, lm - l, 1e-4, 2.5 * sec});
+    }
+  }
+  // 1e-3 and 1e-4 have equal sample counts; make 1e-3 the base.
+  samples.push_back({2, 1, 1, 1e-3,
+                     c_true * 64.0 * (1.0 + kappa_true * 2.0)});
+  const MeasuredCostModel model(samples, 2000.0);
+  EXPECT_NEAR(model.cost_per_cell(), c_true, 0.05 * c_true);
+  EXPECT_NEAR(model.aspect_kappa(), kappa_true, 0.05);
+  EXPECT_NEAR(model.tol_factor(), 2.5, 0.1);
+}
+
+TEST(MeasuredModel, RequiresSamples) {
+  EXPECT_THROW(MeasuredCostModel({}, 1000.0), mg::support::ContractViolation);
+}
+
+TEST(MeasuredModel, SingleToleranceFallsBackToFactorTwo) {
+  std::vector<MeasuredCostModel::Sample> samples = {{2, 1, 1, 1e-3, 0.01},
+                                                    {2, 2, 2, 1e-3, 0.16}};
+  const MeasuredCostModel model(samples, 1000.0);
+  EXPECT_DOUBLE_EQ(model.tol_factor(), 2.0);
+}
+
+// ---- the simulated run -------------------------------------------------------------
+
+TEST(ClusterSim, DeterministicForFixedSeed) {
+  const AthlonCostModel cost;
+  const SimConfig config;
+  const auto a = simulate_run(2, 8, 1e-3, cost, config, 11);
+  const auto b = simulate_run(2, 8, 1e-3, cost, config, 11);
+  EXPECT_DOUBLE_EQ(a.concurrent_seconds, b.concurrent_seconds);
+  EXPECT_DOUBLE_EQ(a.weighted_machines, b.weighted_machines);
+  const auto c = simulate_run(2, 8, 1e-3, cost, config, 12);
+  EXPECT_NE(a.concurrent_seconds, c.concurrent_seconds);
+}
+
+TEST(ClusterSim, NoNoiseMakesSeedsIrrelevant) {
+  const AthlonCostModel cost;
+  SimConfig config;
+  config.noise_amplitude = 0.0;
+  const auto a = simulate_run(2, 6, 1e-3, cost, config, 1);
+  const auto b = simulate_run(2, 6, 1e-3, cost, config, 999);
+  EXPECT_DOUBLE_EQ(a.concurrent_seconds, b.concurrent_seconds);
+}
+
+TEST(ClusterSim, WorkerCountMatchesPaperFormula) {
+  const AthlonCostModel cost;
+  const SimConfig config;
+  for (int level : {0, 3, 7}) {
+    const auto run = simulate_run(2, level, 1e-3, cost, config, 5);
+    EXPECT_EQ(run.workers.size(), static_cast<std::size_t>(2 * level + 1))
+        << "w = 2l + 1 (§7)";
+  }
+}
+
+TEST(ClusterSim, PeakMachinesNeverExceedsClusterPlusNothing) {
+  const AthlonCostModel cost;
+  const SimConfig config;
+  const auto run = simulate_run(2, 15, 1e-3, cost, config, 5);
+  EXPECT_LE(run.peak_machines, 32);
+  EXPECT_LE(run.tasks_spawned, 32u);
+}
+
+TEST(ClusterSim, WorkerTimelinesAreCausal) {
+  const AthlonCostModel cost;
+  const SimConfig config;
+  const auto run = simulate_run(2, 10, 1e-3, cost, config, 3);
+  for (const auto& w : run.workers) {
+    EXPECT_LE(w.requested, w.ready);
+    EXPECT_LE(w.ready, w.input_done);
+    EXPECT_LE(w.input_done, w.compute_start);
+    EXPECT_LT(w.compute_start, w.compute_end);
+    EXPECT_LE(w.compute_end, w.result_done);
+    EXPECT_LT(w.result_done, w.death);
+    EXPECT_LE(w.death, run.concurrent_seconds + 1e-9);
+  }
+}
+
+TEST(ClusterSim, ComputeIntervalsOnOneHostDoNotOverlap) {
+  const AthlonCostModel cost;
+  const SimConfig config;
+  const auto run = simulate_run(2, 12, 1e-3, cost, config, 3);
+  for (std::size_t i = 0; i < run.workers.size(); ++i) {
+    for (std::size_t j = i + 1; j < run.workers.size(); ++j) {
+      if (run.workers[i].host != run.workers[j].host) continue;
+      const auto& a = run.workers[i];
+      const auto& b = run.workers[j];
+      const bool disjoint = a.compute_end <= b.compute_start + 1e-9 ||
+                            b.compute_end <= a.compute_start + 1e-9;
+      EXPECT_TRUE(disjoint) << "overlap on " << a.host;
+    }
+  }
+}
+
+TEST(ClusterSim, SequentialModelIsNoisyAroundAthlonModel) {
+  const AthlonCostModel cost;
+  SimConfig config;
+  config.noise_amplitude = 0.08;
+  const auto run = simulate_run(2, 9, 1e-3, cost, config, 17);
+  const double clean = cost.sequential_seconds(2, 9, 1e-3, 1200.0);
+  EXPECT_GE(run.sequential_seconds, clean);            // noise only slows down
+  EXPECT_LE(run.sequential_seconds, clean * 1.1);
+}
+
+// ---- the paper's qualitative findings ------------------------------------------------
+
+TEST(ClusterSim, NoSpeedupBelowLevelTen) {
+  // §7: "for the runs with l < 10 there is no gain in time".
+  const AthlonCostModel cost;
+  const SimConfig config;
+  for (int level : {2, 5, 8}) {
+    const auto row = simulate_table_row(2, level, 1e-3, cost, config);
+    EXPECT_LT(row.su, 1.0) << "level " << level;
+  }
+}
+
+TEST(ClusterSim, SpeedupGrowsBeyondCrossover) {
+  // §7: "for the l >= 10 runs we see a gain in time" growing to ~7.8/7.9.
+  const AthlonCostModel cost;
+  const SimConfig config;
+  double prev = 0.0;
+  for (int level : {11, 13, 15}) {
+    const auto row = simulate_table_row(2, level, 1e-3, cost, config);
+    EXPECT_GT(row.su, prev) << "level " << level;
+    prev = row.su;
+  }
+  EXPECT_GT(prev, 5.0);
+  EXPECT_LT(prev, 10.0);
+}
+
+TEST(ClusterSim, SpeedupLagsBehindMachineCount) {
+  // §7: "the average speedup in a run always lags behind the average number
+  // of machines it uses".
+  const AthlonCostModel cost;
+  const SimConfig config;
+  for (int level : {6, 10, 13, 15}) {
+    const auto row = simulate_table_row(2, level, 1e-3, cost, config);
+    EXPECT_LT(row.su, row.m) << "level " << level;
+  }
+}
+
+TEST(ClusterSim, MachineCountGrowsWithLevel) {
+  const AthlonCostModel cost;
+  const SimConfig config;
+  const auto low = simulate_table_row(2, 3, 1e-3, cost, config);
+  const auto high = simulate_table_row(2, 15, 1e-3, cost, config);
+  EXPECT_GT(high.m, low.m);
+  EXPECT_GT(high.m, 6.0);
+}
+
+TEST(ClusterSim, TighterToleranceRoughlyDoublesTimes) {
+  const AthlonCostModel cost;
+  const SimConfig config;
+  const auto r3 = simulate_table_row(2, 13, 1e-3, cost, config);
+  const auto r4 = simulate_table_row(2, 13, 1e-4, cost, config);
+  EXPECT_NEAR(r4.st / r3.st, 2.04, 0.2);
+  EXPECT_GT(r4.ct, r3.ct);
+}
+
+TEST(ClusterSim, PerpetualReuseNeedsFewerMachinesThanWorkers) {
+  // §6: "we need less than six machines to run an application with five
+  // workers" — tasks are reused when workers die before new ones arrive.
+  const AthlonCostModel cost;
+  const SimConfig config;
+  const auto run = simulate_run(2, 5, 1e-3, cost, config, 3);  // 11 workers
+  EXPECT_LT(run.tasks_spawned, run.workers.size());
+}
+
+TEST(ClusterSim, BackgroundJobsSlowTheRunDown) {
+  // §7's runaway-Netscape effect: hosts with background jobs stretch ct.
+  const AthlonCostModel cost;
+  SimConfig clean;
+  clean.noise_amplitude = 0.0;
+  SimConfig loaded = clean;
+  loaded.background_job_probability = 1.0;  // every host afflicted
+  loaded.background_slowdown = 2.0;
+  const auto fast = simulate_run(2, 12, 1e-3, cost, clean, 3);
+  const auto slow = simulate_run(2, 12, 1e-3, cost, loaded, 3);
+  // Compute roughly doubles; the fixed spawn/marshal overheads do not, so
+  // the overall stretch lands between 1.3x and 2x.
+  EXPECT_GT(slow.concurrent_seconds, 1.3 * fast.concurrent_seconds);
+  EXPECT_LT(slow.concurrent_seconds, 2.0 * fast.concurrent_seconds);
+  // The sequential baseline is measured on the unloaded startup machine.
+  EXPECT_DOUBLE_EQ(slow.sequential_seconds, fast.sequential_seconds);
+}
+
+TEST(ClusterSim, BackgroundJobsOffByDefault) {
+  EXPECT_DOUBLE_EQ(SimConfig{}.background_job_probability, 0.0);
+}
+
+TEST(ClusterSim, TableAveragesOverRuns) {
+  const AthlonCostModel cost;
+  SimConfig config;
+  config.runs = 3;
+  const auto rows = simulate_table(2, 4, 1e-3, cost, config);
+  ASSERT_EQ(rows.size(), 5u);
+  for (int level = 0; level <= 4; ++level) {
+    EXPECT_EQ(rows[static_cast<std::size_t>(level)].level, level);
+    EXPECT_GT(rows[static_cast<std::size_t>(level)].ct, 0.0);
+    EXPECT_NEAR(rows[static_cast<std::size_t>(level)].su,
+                rows[static_cast<std::size_t>(level)].st /
+                    rows[static_cast<std::size_t>(level)].ct,
+                1e-12);
+  }
+}
+
+TEST(ClusterSim, EbbFlowEndsAtZeroMachines) {
+  const AthlonCostModel cost;
+  const SimConfig config;
+  const auto run = simulate_run(2, 7, 1e-3, cost, config, 9);
+  EXPECT_EQ(run.ebb_flow.counts.back(), 0);  // everything released at the end
+  EXPECT_GE(run.peak_machines, 2);
+}
+
+}  // namespace

@@ -1,0 +1,526 @@
+// Tests for the IWIM coordination runtime: event memory semantics, ports and
+// streams (including BK/KK dismantling), process lifecycle, task-instance
+// composition, and the built-in processes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "manifold/builtins.hpp"
+#include "manifold/event.hpp"
+#include "manifold/process.hpp"
+#include "manifold/runtime.hpp"
+#include "manifold/state_scope.hpp"
+#include "manifold/task.hpp"
+#include "support/check.hpp"
+
+namespace {
+
+using namespace mg::iwim;
+using mg::support::ContractViolation;
+using namespace std::chrono_literals;
+
+// ---- EventMemory ---------------------------------------------------------------
+
+TEST(EventMemory, DepositThenAwaitReturnsOccurrence) {
+  EventMemory mem;
+  mem.deposit({"go", 7, "src"});
+  const auto occ = mem.await({{"go", std::nullopt}});
+  EXPECT_EQ(occ.event, "go");
+  EXPECT_EQ(occ.source, 7u);
+  EXPECT_EQ(occ.source_name, "src");
+}
+
+TEST(EventMemory, AwaitConsumesTheOccurrence) {
+  EventMemory mem;
+  mem.deposit({"go", 1, ""});
+  mem.await({{"go", std::nullopt}});
+  EXPECT_EQ(mem.size(), 0u);
+}
+
+TEST(EventMemory, UnmatchedOccurrencesAreSaved) {
+  // MANIFOLD's `save *`: events with no current label stay in memory.
+  EventMemory mem;
+  mem.deposit({"other", 1, ""});
+  mem.deposit({"go", 2, ""});
+  mem.await({{"go", std::nullopt}});
+  EXPECT_EQ(mem.size(), 1u);
+  EXPECT_EQ(mem.count({"other", std::nullopt}), 1u);
+}
+
+TEST(EventMemory, MatcherOrderIsPriorityOrder) {
+  // The protocol declares `priority create_worker > rendezvous` (line 23).
+  EventMemory mem;
+  mem.deposit({"rendezvous", 1, ""});
+  mem.deposit({"create_worker", 1, ""});
+  const auto occ = mem.await({{"create_worker", std::nullopt}, {"rendezvous", std::nullopt}});
+  EXPECT_EQ(occ.event, "create_worker");
+}
+
+TEST(EventMemory, FifoWithinOneEventName) {
+  EventMemory mem;
+  mem.deposit({"e", 1, "first"});
+  mem.deposit({"e", 2, "second"});
+  EXPECT_EQ(mem.await({{"e", std::nullopt}}).source_name, "first");
+  EXPECT_EQ(mem.await({{"e", std::nullopt}}).source_name, "second");
+}
+
+TEST(EventMemory, SourceFilterMatchesOnlyThatProcess) {
+  EventMemory mem;
+  mem.deposit({"e", 5, ""});
+  mem.deposit({"e", 9, ""});
+  const auto occ = mem.await({{"e", 9}});
+  EXPECT_EQ(occ.source, 9u);
+  EXPECT_EQ(mem.count({"e", 5}), 1u);
+}
+
+TEST(EventMemory, MultipleOccurrencesAreCountable) {
+  // The rendezvous counts death_worker occurrences (lines 39-47).
+  EventMemory mem;
+  for (int i = 0; i < 5; ++i) mem.deposit({"death_worker", static_cast<std::uint64_t>(i), ""});
+  EXPECT_EQ(mem.count({"death_worker", std::nullopt}), 5u);
+}
+
+TEST(EventMemory, PurgeImplementsIgnore) {
+  EventMemory mem;
+  mem.deposit({"death", 1, ""});
+  mem.deposit({"keep", 1, ""});
+  mem.purge("death");
+  EXPECT_EQ(mem.size(), 1u);
+}
+
+TEST(EventMemory, AwaitForTimesOut) {
+  EventMemory mem;
+  const auto result = mem.await_for({{"never", std::nullopt}}, 30ms);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(EventMemory, AwaitBlocksUntilDeposit) {
+  EventMemory mem;
+  std::thread depositor([&] {
+    std::this_thread::sleep_for(20ms);
+    mem.deposit({"late", 1, ""});
+  });
+  const auto occ = mem.await({{"late", std::nullopt}});
+  EXPECT_EQ(occ.event, "late");
+  depositor.join();
+}
+
+TEST(EventMemory, StopThrowsShutdownSignal) {
+  EventMemory mem;
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(20ms);
+    mem.stop();
+  });
+  EXPECT_THROW(mem.await({{"never", std::nullopt}}), ShutdownSignal);
+  stopper.join();
+}
+
+TEST(EventMemory, TryTakeDoesNotBlock) {
+  EventMemory mem;
+  EXPECT_FALSE(mem.try_take({{"x", std::nullopt}}).has_value());
+  mem.deposit({"x", 1, ""});
+  EXPECT_TRUE(mem.try_take({{"x", std::nullopt}}).has_value());
+}
+
+// ---- Unit ----------------------------------------------------------------------
+
+TEST(Unit, TypedRoundTrip) {
+  const Unit u = Unit::of(std::int64_t{42});
+  EXPECT_TRUE(u.is<std::int64_t>());
+  EXPECT_FALSE(u.is<double>());
+  EXPECT_EQ(u.as<std::int64_t>(), 42);
+}
+
+TEST(Unit, EmptyAndTypeErrors) {
+  const Unit empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_THROW(empty.as<int>(), UnitTypeError);
+  const Unit u = Unit::of(std::string("hi"));
+  EXPECT_THROW(u.as<double>(), UnitTypeError);
+}
+
+TEST(Unit, CopiesShareImmutablePayload) {
+  const Unit a = Unit::of(std::vector<double>(1000, 1.0));
+  const Unit b = a;  // O(1) copy
+  EXPECT_EQ(&a.as<std::vector<double>>(), &b.as<std::vector<double>>());
+}
+
+// ---- ports and streams -----------------------------------------------------------
+
+struct RuntimeFixture : ::testing::Test {
+  Runtime runtime;
+
+  std::shared_ptr<AtomicProcess> idle_process(const std::string& name) {
+    // A process that parks until shutdown; used as a port holder.
+    return runtime.create_process("Idle", name, [](ProcessContext& ctx) {
+      ctx.await({{"__never__", std::nullopt}});
+    });
+  }
+};
+
+TEST_F(RuntimeFixture, WriteBeforeConnectPendsAndFlushes) {
+  auto a = idle_process("a");
+  auto b = idle_process("b");
+  a->port("output").write(Unit::of(std::int64_t{1}));
+  a->port("output").write(Unit::of(std::int64_t{2}));
+  EXPECT_EQ(a->port("output").pending_writes(), 2u);
+  runtime.connect(a->port("output"), b->port("input"));
+  EXPECT_EQ(a->port("output").pending_writes(), 0u);
+  EXPECT_EQ(b->port("input").queued(), 2u);
+  EXPECT_EQ(b->port("input").try_read()->as<std::int64_t>(), 1);
+  EXPECT_EQ(b->port("input").try_read()->as<std::int64_t>(), 2);
+}
+
+TEST_F(RuntimeFixture, WriteReplicatesToAllConnectedStreams) {
+  auto a = idle_process("a");
+  auto b = idle_process("b");
+  auto c = idle_process("c");
+  runtime.connect(a->port("output"), b->port("input"));
+  runtime.connect(a->port("output"), c->port("input"));
+  a->port("output").write(Unit::of(std::int64_t{7}));
+  EXPECT_EQ(b->port("input").try_read()->as<std::int64_t>(), 7);
+  EXPECT_EQ(c->port("input").try_read()->as<std::int64_t>(), 7);
+}
+
+TEST_F(RuntimeFixture, BkDisconnectKeepsQueuedUnitsReadable) {
+  // Break-Keep: "disconnection from its producer does not disconnect the
+  // stream from its consumer" — queued data drains.
+  auto a = idle_process("a");
+  auto b = idle_process("b");
+  Stream& s = runtime.connect(a->port("output"), b->port("input"), StreamType::BK);
+  a->port("output").write(Unit::of(std::int64_t{1}));
+  runtime.disconnect_source(s);
+  EXPECT_FALSE(s.source_connected());
+  EXPECT_EQ(b->port("input").try_read()->as<std::int64_t>(), 1);
+  // New writes no longer reach the stream; they pend in the port.
+  a->port("output").write(Unit::of(std::int64_t{2}));
+  EXPECT_EQ(a->port("output").pending_writes(), 1u);
+  EXPECT_FALSE(b->port("input").try_read().has_value());
+}
+
+TEST_F(RuntimeFixture, StateScopeBreaksBkButKeepsKk) {
+  // protocolMW.m line 32: the worker->master.dataport stream is KK and
+  // survives state pre-emption; the BK data stream does not.
+  auto worker = idle_process("worker");
+  auto master = idle_process("master");
+  Stream* kk = nullptr;
+  Stream* bk = nullptr;
+  {
+    StateScope scope(runtime);
+    kk = &scope.connect(worker->port("output"), master->port("input"), StreamType::KK);
+    bk = &scope.connect(master->port("output"), worker->port("input"), StreamType::BK);
+    EXPECT_EQ(scope.stream_count(), 2u);
+  }  // pre-emption
+  EXPECT_TRUE(kk->source_connected());
+  EXPECT_FALSE(bk->source_connected());
+  // The KK stream still transports results after the state moved on.
+  worker->port("output").write(Unit::of(std::int64_t{5}));
+  EXPECT_EQ(master->port("input").try_read()->as<std::int64_t>(), 5);
+}
+
+TEST_F(RuntimeFixture, DirectDepositModelsConstantSourceStream) {
+  auto master = idle_process("master");
+  runtime.send(master->port("input"), Unit::of(std::string("ref")));
+  EXPECT_EQ(master->port("input").try_read()->as<std::string>(), "ref");
+}
+
+TEST_F(RuntimeFixture, ReadForTimesOutOnEmptyPort) {
+  auto a = idle_process("a");
+  EXPECT_FALSE(a->port("input").read_for(30ms).has_value());
+}
+
+TEST_F(RuntimeFixture, DirectionIsEnforced) {
+  auto a = idle_process("a");
+  EXPECT_THROW(a->port("input").write(Unit::of(1)), ContractViolation);
+  EXPECT_THROW(a->port("output").try_read(), ContractViolation);
+  EXPECT_THROW(runtime.connect(a->port("input"), a->port("input")), ContractViolation);
+}
+
+TEST_F(RuntimeFixture, RoundRobinAcrossIncomingStreams) {
+  auto a = idle_process("a");
+  auto b = idle_process("b");
+  auto sink = idle_process("sink");
+  runtime.connect(a->port("output"), sink->port("input"));
+  runtime.connect(b->port("output"), sink->port("input"));
+  for (int i = 0; i < 3; ++i) {
+    a->port("output").write(Unit::of(std::string("a")));
+    b->port("output").write(Unit::of(std::string("b")));
+  }
+  int a_count = 0, b_count = 0;
+  for (int i = 0; i < 6; ++i) {
+    const auto u = sink->port("input").try_read();
+    ASSERT_TRUE(u.has_value());
+    (u->as<std::string>() == "a" ? a_count : b_count)++;
+  }
+  EXPECT_EQ(a_count, 3);
+  EXPECT_EQ(b_count, 3);
+}
+
+// ---- process lifecycle -------------------------------------------------------------
+
+TEST_F(RuntimeFixture, ProcessRunsBodyAndTerminates) {
+  std::atomic<bool> ran{false};
+  auto p = runtime.create_process("T", "t", [&](ProcessContext&) { ran = true; });
+  EXPECT_EQ(p->phase(), Process::Phase::Created);
+  p->activate();
+  p->wait_terminated();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(p->phase(), Process::Phase::Terminated);
+}
+
+TEST_F(RuntimeFixture, DoubleActivationIsRejected) {
+  auto p = runtime.create_process("T", "t", [](ProcessContext&) {});
+  p->activate();
+  EXPECT_THROW(p->activate(), ContractViolation);
+  p->wait_terminated();
+}
+
+TEST_F(RuntimeFixture, StandardPortsExist) {
+  auto p = runtime.create_process("T", "t", [](ProcessContext&) {});
+  EXPECT_TRUE(p->has_port("input"));
+  EXPECT_TRUE(p->has_port("output"));
+  EXPECT_TRUE(p->has_port("error"));
+  EXPECT_FALSE(p->has_port("dataport"));
+  EXPECT_THROW(p->port("nonexistent"), ContractViolation);
+}
+
+TEST_F(RuntimeFixture, ExtraPortsViaSpec) {
+  auto p = runtime.create_process("Master", "m", [](ProcessContext&) {},
+                                  {{"dataport", Port::Direction::In}});
+  EXPECT_TRUE(p->has_port("dataport"));
+}
+
+TEST_F(RuntimeFixture, AddPortAfterActivationIsRejected) {
+  auto p = idle_process("p");
+  p->activate();
+  EXPECT_THROW(p->add_port("late", Port::Direction::In), ContractViolation);
+}
+
+TEST_F(RuntimeFixture, TerminationBroadcastsBuiltInEvent) {
+  auto watcher = runtime.create_process("W", "w", [](ProcessContext& ctx) {
+    ctx.await({{kTerminatedEvent, std::nullopt}});
+  });
+  watcher->activate();
+  auto quick = runtime.create_process("Q", "q", [](ProcessContext&) {});
+  quick->activate();
+  EXPECT_TRUE(watcher->wait_terminated_for(2000ms));
+}
+
+TEST_F(RuntimeFixture, RaiseBroadcastsToAllProcesses) {
+  std::atomic<int> woken{0};
+  std::vector<std::shared_ptr<AtomicProcess>> waiters;
+  for (int i = 0; i < 3; ++i) {
+    waiters.push_back(runtime.create_process("W", "w" + std::to_string(i),
+                                             [&](ProcessContext& ctx) {
+                                               ctx.await({{"flood", std::nullopt}});
+                                               ++woken;
+                                             }));
+  }
+  for (auto& w : waiters) w->activate();
+  auto raiser = runtime.create_process("R", "r", [](ProcessContext& ctx) { ctx.raise("flood"); });
+  raiser->activate();
+  for (auto& w : waiters) EXPECT_TRUE(w->wait_terminated_for(2000ms));
+  EXPECT_EQ(woken, 3);
+}
+
+TEST_F(RuntimeFixture, ProcessExceptionIsContainedAndTerminates) {
+  auto p = runtime.create_process("T", "t", [](ProcessContext&) {
+    throw std::runtime_error("worker bug");
+  });
+  p->activate();
+  EXPECT_TRUE(p->wait_terminated_for(2000ms));  // does not crash the runtime
+}
+
+TEST(RuntimeShutdown, WakesBlockedProcesses) {
+  Runtime runtime;
+  auto blocked_on_read = runtime.create_process("T", "r", [](ProcessContext& ctx) {
+    ctx.read("input");  // no one will write
+  });
+  auto blocked_on_event = runtime.create_process("T", "e", [](ProcessContext& ctx) {
+    ctx.await({{"never", std::nullopt}});
+  });
+  blocked_on_read->activate();
+  blocked_on_event->activate();
+  runtime.shutdown();  // must not hang
+  EXPECT_EQ(blocked_on_read->phase(), Process::Phase::Terminated);
+  EXPECT_EQ(blocked_on_event->phase(), Process::Phase::Terminated);
+}
+
+TEST(RuntimeShutdown, DestructorJoinsEverything) {
+  // Scope exit with live blocked processes must not hang or crash.
+  Runtime runtime;
+  auto p = runtime.create_process("T", "t", [](ProcessContext& ctx) { ctx.read("input"); });
+  p->activate();
+}
+
+// ---- task composition --------------------------------------------------------------
+
+TEST(TaskSpec, WeightsByKind) {
+  const auto spec = TaskCompositionSpec::paper_distributed();
+  EXPECT_DOUBLE_EQ(spec.weight_for("Master"), 1.0);
+  EXPECT_DOUBLE_EQ(spec.weight_for("Worker"), 1.0);
+  EXPECT_DOUBLE_EQ(spec.weight_for("Main"), 0.0);  // pure coordinator
+}
+
+TEST(TaskSpec, ParallelVariantRaisesLoad) {
+  const auto spec = TaskCompositionSpec::paper_parallel(5);
+  EXPECT_DOUBLE_EQ(spec.load_threshold, 6.0);
+}
+
+TEST(HostMapTest, PaperHostsMatchConfigFile) {
+  const auto map = HostMap::paper_hosts();
+  EXPECT_EQ(map.startup_host, "bumpa.sen.cwi.nl");
+  ASSERT_EQ(map.worker_hosts.size(), 5u);
+  EXPECT_EQ(map.worker_hosts[0], "diplice.sen.cwi.nl");
+  EXPECT_EQ(map.worker_hosts[4], "basfluit.sen.cwi.nl");
+}
+
+TEST(HostMapTest, ForkCyclesThroughLocus) {
+  const auto map = HostMap::paper_hosts();
+  EXPECT_EQ(map.host_for_fork(0), "diplice.sen.cwi.nl");
+  EXPECT_EQ(map.host_for_fork(5), "diplice.sen.cwi.nl");  // wraps
+}
+
+TEST(TaskManagerTest, FirstPlacementUsesStartupHost) {
+  TaskManager tm(TaskCompositionSpec::paper_distributed(), HostMap::paper_hosts());
+  const auto id = tm.place("Master", 0.0);
+  EXPECT_EQ(tm.task(id).host, "bumpa.sen.cwi.nl");
+}
+
+TEST(TaskManagerTest, FullTaskForcesForkOnNewHost) {
+  TaskManager tm(TaskCompositionSpec::paper_distributed(), HostMap::paper_hosts());
+  const auto t1 = tm.place("Master", 0.0);
+  const auto t2 = tm.place("Worker", 1.0);  // master task is full (load 1)
+  EXPECT_NE(t1, t2);
+  EXPECT_EQ(tm.task(t2).host, "diplice.sen.cwi.nl");
+}
+
+TEST(TaskManagerTest, PerpetualTaskIsReusedAfterRelease) {
+  // §6: an emptied perpetual task "welcomes a new worker".
+  TaskManager tm(TaskCompositionSpec::paper_distributed(), HostMap::paper_hosts());
+  tm.place("Master", 0.0);
+  const auto w1 = tm.place("Worker", 1.0);
+  tm.release(w1, "Worker", 2.0);
+  EXPECT_EQ(tm.task(w1).alive, true);
+  const auto w2 = tm.place("Worker", 3.0);
+  EXPECT_EQ(w2, w1);  // same task instance, no new fork
+  EXPECT_EQ(tm.stats().tasks_created, 2u);
+}
+
+TEST(TaskManagerTest, NonPerpetualTaskDiesWhenEmpty) {
+  auto spec = TaskCompositionSpec::paper_distributed();
+  spec.perpetual = false;
+  TaskManager tm(spec, HostMap::paper_hosts());
+  tm.place("Master", 0.0);
+  const auto w1 = tm.place("Worker", 1.0);
+  tm.release(w1, "Worker", 2.0);
+  EXPECT_FALSE(tm.task(w1).alive);
+  const auto w2 = tm.place("Worker", 3.0);
+  EXPECT_NE(w2, w1);
+  EXPECT_EQ(tm.stats().tasks_created, 3u);
+}
+
+TEST(TaskManagerTest, ParallelSpecBundlesEveryoneInOneTask) {
+  // §6: "When all process instances run as threads in the same task
+  // instance, the application executes in parallel (i.e., not distributed)".
+  TaskManager tm(TaskCompositionSpec::paper_parallel(6), HostMap::paper_hosts());
+  const auto master = tm.place("Master", 0.0);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(tm.place("Worker", 0.1), master);
+  EXPECT_EQ(tm.stats().tasks_created, 1u);
+}
+
+TEST(TaskManagerTest, MachineEventsTrackBusyTransitions) {
+  TaskManager tm(TaskCompositionSpec::paper_distributed(), HostMap::paper_hosts());
+  tm.place("Master", 0.0);
+  const auto w = tm.place("Worker", 1.0);
+  tm.release(w, "Worker", 5.0);
+  const auto stats = tm.stats();
+  ASSERT_EQ(stats.machine_events.size(), 3u);  // +master, +worker, -worker
+  EXPECT_EQ(stats.machine_events[0].delta, +1);
+  EXPECT_EQ(stats.machine_events[2].delta, -1);
+  EXPECT_DOUBLE_EQ(stats.machine_events[2].time, 5.0);
+  EXPECT_EQ(stats.peak_busy, 2u);
+}
+
+TEST(TaskManagerTest, BusyAndAliveCounts) {
+  TaskManager tm(TaskCompositionSpec::paper_distributed(), HostMap::paper_hosts());
+  tm.place("Master", 0.0);
+  const auto w = tm.place("Worker", 0.0);
+  EXPECT_EQ(tm.busy_tasks(), 2u);
+  tm.release(w, "Worker", 1.0);
+  EXPECT_EQ(tm.busy_tasks(), 1u);
+  EXPECT_EQ(tm.alive_tasks(), 2u);  // perpetual
+}
+
+// ---- runtime bookkeeping ---------------------------------------------------------------
+
+TEST_F(RuntimeFixture, CountsProcessesAndStreams) {
+  EXPECT_EQ(runtime.process_count(), 0u);
+  auto a = idle_process("a");
+  auto b = idle_process("b");
+  EXPECT_EQ(runtime.process_count(), 2u);
+  EXPECT_EQ(runtime.stream_count(), 0u);
+  runtime.connect(a->port("output"), b->port("input"));
+  EXPECT_EQ(runtime.stream_count(), 1u);
+}
+
+TEST_F(RuntimeFixture, ProcessIdentityAndKind) {
+  auto a = runtime.create_process("Worker", "worker3", [](ProcessContext&) {});
+  EXPECT_EQ(a->kind(), "Worker");
+  EXPECT_EQ(a->name(), "worker3");
+  auto b = runtime.create_process("Worker", "worker4", [](ProcessContext&) {});
+  EXPECT_NE(a->id(), b->id());
+}
+
+TEST(HostMapGenerated, ProducesRequestedHostCount) {
+  const HostMap map = HostMap::generated(7);
+  EXPECT_EQ(map.worker_hosts.size(), 7u);
+  EXPECT_EQ(map.startup_host, "bumpa.sen.cwi.nl");
+  // Names are distinct.
+  std::set<std::string> names(map.worker_hosts.begin(), map.worker_hosts.end());
+  EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(HostMapGenerated, EmptyLocusIsRejectedOnFork) {
+  HostMap map;
+  map.worker_hosts.clear();
+  EXPECT_THROW(map.host_for_fork(0), ContractViolation);
+}
+
+TEST(StreamTypeNames, RoundTrip) {
+  EXPECT_STREQ(to_string(StreamType::BK), "BK");
+  EXPECT_STREQ(to_string(StreamType::KK), "KK");
+}
+
+// ---- builtins ------------------------------------------------------------------------
+
+TEST(Builtins, VariableHoldsAssignedValue) {
+  Runtime runtime;
+  Variable counter(runtime, "now", Unit::of(std::int64_t{0}));
+  EXPECT_EQ(counter.as_int(), 0);
+  counter.assign(Unit::of(std::int64_t{3}));
+  // Assignment is asynchronous (a unit through a port); poll briefly.
+  for (int i = 0; i < 100 && counter.as_int() != 3; ++i) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(counter.as_int(), 3);
+}
+
+TEST(Builtins, PrinterCountsUnits) {
+  Runtime runtime;
+  auto printer = make_printer(runtime, "screen");
+  auto producer = runtime.create_process("P", "p", [](ProcessContext& ctx) {
+    for (std::int64_t i = 0; i < 4; ++i) ctx.write(Unit::of(i));
+  });
+  runtime.connect(producer->port("output"), printer.process->port("input"));
+  producer->activate();
+  producer->wait_terminated();
+  for (int i = 0; i < 200 && printer.printed->load() != 4; ++i) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(printer.printed->load(), 4u);
+}
+
+}  // namespace

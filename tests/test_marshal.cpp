@@ -1,0 +1,141 @@
+// Tests for the byte codec and the master/worker unit marshalling, including
+// the end-to-end claim: results remain bit-identical to the sequential run
+// even when every unit crosses a (simulated) wire.
+#include <gtest/gtest.h>
+
+#include "core/concurrent_solver.hpp"
+#include "core/marshal.hpp"
+#include "support/bytes.hpp"
+#include "transport/seq_solver.hpp"
+#include "transport/subsolve.hpp"
+
+namespace {
+
+using namespace mg;
+using support::ByteReader;
+using support::ByteWriter;
+using support::DecodeError;
+
+// ---- byte writer/reader -----------------------------------------------------------
+
+TEST(Bytes, ScalarsRoundTrip) {
+  ByteWriter w;
+  w.write_u64(0xDEADBEEFCAFEF00DULL);
+  w.write_i64(-42);
+  w.write_i32(-7);
+  w.write_f64(3.14159);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_EQ(r.read_u64(), 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(r.read_i64(), -42);
+  EXPECT_EQ(r.read_i32(), -7);
+  EXPECT_DOUBLE_EQ(r.read_f64(), 3.14159);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, DoublesAreBitExact) {
+  // Exact bit pattern round-trip, including NaN payload and denormals.
+  const double values[] = {0.0, -0.0, 1e-308, std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::quiet_NaN(), 0.1};
+  ByteWriter w;
+  for (double v : values) w.write_f64(v);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  for (double v : values) {
+    std::uint64_t expected, actual;
+    const double got = r.read_f64();
+    std::memcpy(&expected, &v, 8);
+    std::memcpy(&actual, &got, 8);
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST(Bytes, StringsAndArraysRoundTrip) {
+  ByteWriter w;
+  w.write_string("bumpa.sen.cwi.nl");
+  w.write_string("");
+  w.write_doubles({1.0, 2.0, 3.0});
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_EQ(r.read_string(), "bumpa.sen.cwi.nl");
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_EQ(r.read_doubles(), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(Bytes, TruncatedInputThrows) {
+  ByteWriter w;
+  w.write_u64(1);
+  auto bytes = w.take();
+  bytes.pop_back();
+  ByteReader r(bytes);
+  EXPECT_THROW(r.read_u64(), DecodeError);
+}
+
+TEST(Bytes, CorruptLengthPrefixThrows) {
+  ByteWriter w;
+  w.write_u64(1'000'000);  // claims a million entries with no data behind it
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_THROW(r.read_doubles(), DecodeError);
+}
+
+// ---- work/result items --------------------------------------------------------------
+
+TEST(Marshal, WorkItemRoundTrips) {
+  transport::SubsolveConfig kernel;
+  kernel.le_tol = 1e-4;
+  kernel.system.scheme = transport::AdvectionScheme::ThirdOrderKoren;
+  kernel.system.solver = transport::StageSolverKind::BiCgStabIlu0;
+  const mw::WorkItem item{7, 2, 3, 1, kernel};
+  const mw::WorkItem back = mw::decode_work_item(mw::encode_work_item(item));
+  EXPECT_EQ(back.index, 7u);
+  EXPECT_EQ(back.root, 2);
+  EXPECT_EQ(back.lx, 3);
+  EXPECT_EQ(back.ly, 1);
+  EXPECT_EQ(back.config.le_tol, 1e-4);
+  EXPECT_EQ(back.config.system.scheme, transport::AdvectionScheme::ThirdOrderKoren);
+  EXPECT_EQ(back.config.system.solver, transport::StageSolverKind::BiCgStabIlu0);
+  EXPECT_EQ(back.config.problem.ax, item.config.problem.ax);
+}
+
+TEST(Marshal, ResultItemRoundTripsBitExactly) {
+  mw::ResultItem item{3, {0.1, -2.5, 1e-300, 42.0}, {}, 1.25};
+  item.stats.accepted = 17;
+  item.stats.stage_solves = 34;
+  const mw::ResultItem back = mw::decode_result_item(mw::encode_result_item(item));
+  EXPECT_EQ(back.index, 3u);
+  EXPECT_EQ(back.node_data, item.node_data);
+  EXPECT_EQ(back.stats.accepted, 17u);
+  EXPECT_EQ(back.stats.stage_solves, 34u);
+  EXPECT_DOUBLE_EQ(back.elapsed_seconds, 1.25);
+}
+
+TEST(Marshal, WireSizeMatchesEncoding) {
+  mw::ResultItem item{0, std::vector<double>(grid::Grid2D(2, 2, 1).node_count(), 1.0), {}, 0.0};
+  EXPECT_EQ(mw::encode_result_item(item).size(), mw::result_wire_bytes(2, 2, 1));
+}
+
+TEST(Marshal, PayloadEstimateIsTheRightScale) {
+  // The network model's payload estimate must track the true wire size
+  // within a factor of two (it is dominated by the nodal array either way).
+  for (int lx : {1, 3}) {
+    for (int ly : {0, 4}) {
+      const auto estimate = transport::subsolve_payload_bytes(grid::Grid2D(2, lx, ly));
+      const auto actual = mw::result_wire_bytes(2, lx, ly);
+      EXPECT_LT(estimate, 2 * actual);
+      EXPECT_LT(actual, 2 * estimate);
+    }
+  }
+}
+
+TEST(Marshal, SolverThroughWireIsStillBitExact) {
+  transport::ProgramConfig program;
+  program.level = 3;
+  const auto seq = transport::solve_sequential(program);
+  mw::ConcurrentOptions options;
+  options.marshal_through_bytes = true;
+  const auto conc = mw::solve_concurrent(program, options);
+  EXPECT_EQ(conc.solve.combined.max_diff(seq.combined), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,280 @@
+// Tests for the MANIFOLD front-end: lexing/parsing of the language subset,
+// error reporting, and — the point of the exercise — a full structural parse
+// of the paper's published sources (assets/protocolMW.m, assets/mainprog.m)
+// cross-checked against the C++ implementation of the protocol.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/protocol.hpp"
+#include "manifold/minilang.hpp"
+
+namespace {
+
+using namespace mg::iwim::minilang;
+namespace mw = mg::mw;
+
+std::string read_file(const std::string& name) {
+  std::string dir = __FILE__;
+  dir = dir.substr(0, dir.find_last_of('/'));
+  dir = dir.substr(0, dir.find_last_of('/'));
+  std::ifstream in(dir + "/assets/" + name);
+  EXPECT_TRUE(in.good()) << "missing asset " << name;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// ---- small-grammar unit tests --------------------------------------------------
+
+TEST(Minilang, ParsesAMinimalManner) {
+  const auto program = parse_program("manner M(process p) { begin: halt. }");
+  ASSERT_EQ(program.definitions.size(), 1u);
+  const auto& def = program.definitions[0];
+  EXPECT_EQ(def.kind, Definition::Kind::Manner);
+  EXPECT_EQ(def.name, "M");
+  ASSERT_EQ(def.parameters.size(), 1u);
+  EXPECT_EQ(def.parameters[0], "process p");
+  ASSERT_NE(def.body, nullptr);
+  ASSERT_EQ(def.body->states.size(), 1u);
+  EXPECT_EQ(def.body->states[0].label, "begin");
+  EXPECT_EQ(def.body->states[0].actions[0].kind, Action::Kind::Halt);
+}
+
+TEST(Minilang, ParsesAtomicManifoldDeclaration) {
+  const auto program = parse_program("manifold Worker(event) atomic.");
+  const auto& def = program.definitions[0];
+  EXPECT_EQ(def.kind, Definition::Kind::Manifold);
+  EXPECT_TRUE(def.atomic);
+  EXPECT_EQ(def.body, nullptr);
+}
+
+TEST(Minilang, ParsesDeclaratives) {
+  const auto program = parse_program(R"(
+    manner M() {
+      save *.
+      ignore death.
+      event death_worker.
+      priority create_worker > rendezvous.
+      auto process now is variable(0).
+      begin: halt.
+    })");
+  const Block& block = *program.definitions[0].body;
+  ASSERT_EQ(block.declaratives.size(), 5u);
+  EXPECT_TRUE(block.has_declarative(Declarative::Kind::SaveAll));
+  EXPECT_TRUE(block.has_declarative(Declarative::Kind::Ignore));
+  EXPECT_EQ(block.declaratives[3].names,
+            (std::vector<std::string>{"create_worker", "rendezvous"}));
+  const auto& auto_proc = block.declaratives[4];
+  EXPECT_EQ(auto_proc.kind, Declarative::Kind::AutoProcess);
+  EXPECT_EQ(auto_proc.names[0], "now");
+  EXPECT_EQ(auto_proc.manifold, "variable");
+  EXPECT_EQ(auto_proc.args, (std::vector<std::string>{"0"}));
+}
+
+TEST(Minilang, ParsesStreamChains) {
+  const auto program = parse_program(R"(
+    manner M() {
+      begin: &worker -> master -> worker -> master.dataport.
+    })");
+  const auto& action = program.definitions[0].body->states[0].actions[0];
+  ASSERT_EQ(action.kind, Action::Kind::Streams);
+  ASSERT_EQ(action.chain.endpoints.size(), 4u);
+  EXPECT_TRUE(action.chain.endpoints[0].is_reference);
+  EXPECT_EQ(action.chain.endpoints[0].process, "worker");
+  EXPECT_EQ(action.chain.endpoints[3].process, "master");
+  EXPECT_EQ(action.chain.endpoints[3].port, "dataport");
+}
+
+TEST(Minilang, ParsesMacrosAndIncludes) {
+  const auto program = parse_program(
+      "#include \"MBL.h\"\n#define IDLE terminated(void)\n"
+      "manner M() { begin: (preemptall, IDLE). }");
+  EXPECT_EQ(program.includes, (std::vector<std::string>{"MBL.h"}));
+  const auto& tuple = program.definitions[0].body->states[0].actions[0];
+  ASSERT_EQ(tuple.kind, Action::Kind::Tuple);
+  EXPECT_EQ(tuple.children[1].kind, Action::Kind::Terminated);
+  EXPECT_EQ(tuple.children[1].argument, "void");
+}
+
+TEST(Minilang, ParsesIfThenElseAndAssignments) {
+  const auto program = parse_program(R"(
+    manner M() {
+      death: t = t + 1; if (t < now) then { post(begin) } else { post(end) }.
+    })");
+  const auto& actions = program.definitions[0].body->states[0].actions;
+  ASSERT_EQ(actions.size(), 2u);
+  EXPECT_EQ(actions[0].kind, Action::Kind::Assignment);
+  EXPECT_EQ(actions[0].argument, "t");
+  EXPECT_EQ(actions[0].expression, "t + 1");
+  ASSERT_EQ(actions[1].kind, Action::Kind::If);
+  EXPECT_EQ(actions[1].expression, "t < now");
+  ASSERT_EQ(actions[1].children.size(), 2u);
+  EXPECT_EQ(actions[1].children[0].children[0].kind, Action::Kind::Post);
+  EXPECT_EQ(actions[1].children[1].children[0].argument, "end");
+}
+
+TEST(Minilang, ReportsLineNumbersOnErrors) {
+  try {
+    parse_program("manner M() {\n  begin: halt.\n  ??? }");
+    FAIL() << "should have thrown";
+  } catch (const SyntaxError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(Minilang, RejectsUnterminatedBlock) {
+  EXPECT_THROW(parse_program("manner M() { begin: halt."), SyntaxError);
+}
+
+TEST(Minilang, RejectsUnterminatedString) {
+  EXPECT_THROW(parse_program("manner M() { begin: MES(\"oops). }"), SyntaxError);
+}
+
+// ---- the paper's sources -----------------------------------------------------------
+
+class PaperProtocolSource : public ::testing::Test {
+ protected:
+  void SetUp() override { program_ = parse_program(read_file("protocolMW.m")); }
+  Program program_;
+};
+
+TEST_F(PaperProtocolSource, DefinesBothManners) {
+  ASSERT_EQ(program_.definitions.size(), 2u);
+  const Definition* pool = program_.find("Create_Worker_Pool");
+  const Definition* protocol = program_.find("ProtocolMW");
+  ASSERT_NE(pool, nullptr);
+  ASSERT_NE(protocol, nullptr);
+  EXPECT_FALSE(pool->exported);
+  EXPECT_TRUE(protocol->exported);
+  EXPECT_EQ(pool->parameters.size(), 2u);  // master + Worker manifold
+}
+
+TEST_F(PaperProtocolSource, IdleMacroIsExpanded) {
+  EXPECT_EQ(program_.macros.at("IDLE"), "terminated(void)");
+}
+
+TEST_F(PaperProtocolSource, ProtocolStatesMatchTheImplementation) {
+  const Definition* protocol = program_.find("ProtocolMW");
+  ASSERT_NE(protocol->body, nullptr);
+  // The three states our protocol_mw() loop renders (protocol.cpp).
+  EXPECT_NE(protocol->body->find_state("begin"), nullptr);
+  EXPECT_NE(protocol->body->find_state(mw::ProtocolEvents::create_pool), nullptr);
+  EXPECT_NE(protocol->body->find_state(mw::ProtocolEvents::finished), nullptr);
+  // begin waits on the master's termination; finished halts.
+  EXPECT_EQ(protocol->body->find_state("begin")->actions[0].kind, Action::Kind::Terminated);
+  EXPECT_EQ(protocol->body->find_state("begin")->actions[0].argument, "master");
+  EXPECT_EQ(protocol->body->find_state("finished")->actions[0].kind, Action::Kind::Halt);
+  // create_pool calls Create_Worker_Pool then posts begin (the `;` sequence).
+  const State* create_pool = protocol->body->find_state("create_pool");
+  ASSERT_EQ(create_pool->actions.size(), 2u);
+  EXPECT_EQ(create_pool->actions[0].kind, Action::Kind::Call);
+  EXPECT_EQ(create_pool->actions[0].argument, "Create_Worker_Pool");
+  EXPECT_EQ(create_pool->actions[1].kind, Action::Kind::Post);
+  EXPECT_EQ(create_pool->actions[1].argument, "begin");
+}
+
+TEST_F(PaperProtocolSource, PoolDeclarativesMatchTheImplementation) {
+  const Block& pool = *program_.find("Create_Worker_Pool")->body;
+  // priority create_worker > rendezvous — the matcher order in protocol.cpp.
+  bool priority_found = false;
+  for (const auto& d : pool.declaratives) {
+    if (d.kind == Declarative::Kind::Priority) {
+      priority_found = true;
+      EXPECT_EQ(d.names[0], mw::ProtocolEvents::create_worker);
+      EXPECT_EQ(d.names[1], mw::ProtocolEvents::rendezvous);
+    }
+  }
+  EXPECT_TRUE(priority_found);
+  EXPECT_TRUE(pool.has_declarative(Declarative::Kind::SaveAll));
+  // The two counters are variable processes initialised to 0.
+  int counters = 0;
+  for (const auto& d : pool.declaratives) {
+    if (d.kind == Declarative::Kind::AutoProcess && d.manifold == "variable") ++counters;
+  }
+  EXPECT_EQ(counters, 2);
+}
+
+TEST_F(PaperProtocolSource, CreateWorkerStateWiresTheStreams) {
+  const Block& pool = *program_.find("Create_Worker_Pool")->body;
+  const State* create_worker = pool.find_state(mw::ProtocolEvents::create_worker);
+  ASSERT_NE(create_worker, nullptr);
+  ASSERT_EQ(create_worker->actions[0].kind, Action::Kind::Block);
+  const Block& inner = *create_worker->actions[0].block;
+  // hold worker; process worker is Worker(death_worker); stream KK -> dataport.
+  EXPECT_TRUE(inner.has_declarative(Declarative::Kind::Hold));
+  bool worker_created = false, kk_stream = false;
+  for (const auto& d : inner.declaratives) {
+    if (d.kind == Declarative::Kind::Process && d.manifold == "Worker") {
+      worker_created = true;
+      EXPECT_EQ(d.args, (std::vector<std::string>{mw::ProtocolEvents::death_worker}));
+    }
+    if (d.kind == Declarative::Kind::Stream && d.chain.type == "KK") {
+      kk_stream = true;
+      EXPECT_EQ(d.chain.endpoints.back().process, "master");
+      EXPECT_EQ(d.chain.endpoints.back().port, "dataport");
+    }
+  }
+  EXPECT_TRUE(worker_created);
+  EXPECT_TRUE(kk_stream);
+  // Its begin state increments `now` and builds the 4-endpoint chain.
+  const State* begin = inner.find_state("begin");
+  ASSERT_NE(begin, nullptr);
+  EXPECT_EQ(begin->actions[0].kind, Action::Kind::Assignment);
+  EXPECT_EQ(begin->actions[0].argument, "now");
+}
+
+TEST_F(PaperProtocolSource, RendezvousCountsDeathsAndAcknowledges) {
+  const Block& pool = *program_.find("Create_Worker_Pool")->body;
+  const State* rendezvous = pool.find_state(mw::ProtocolEvents::rendezvous);
+  ASSERT_NE(rendezvous, nullptr);
+  const Block& inner = *rendezvous->actions[0].block;
+  const State* death = inner.find_state(mw::ProtocolEvents::death_worker);
+  ASSERT_NE(death, nullptr);
+  EXPECT_EQ(death->actions[0].kind, Action::Kind::Assignment);  // t = t + 1
+  EXPECT_EQ(death->actions[1].kind, Action::Kind::If);          // t < now ?
+  // The end state raises a_rendezvous.
+  const State* end = pool.find_state("end");
+  ASSERT_NE(end, nullptr);
+  bool raises_ack = false;
+  for (const auto& a : end->actions[0].children) {
+    if (a.kind == Action::Kind::Raise && a.argument == mw::ProtocolEvents::a_rendezvous) {
+      raises_ack = true;
+    }
+  }
+  EXPECT_TRUE(raises_ack);
+}
+
+TEST(PaperMainprogSource, ParsesAndInvokesTheProtocol) {
+  const auto program = parse_program(read_file("mainprog.m"));
+  const Definition* worker = program.find("Worker");
+  const Definition* master = program.find("Master");
+  const Definition* main = program.find("Main");
+  ASSERT_NE(worker, nullptr);
+  ASSERT_NE(master, nullptr);
+  ASSERT_NE(main, nullptr);
+  EXPECT_TRUE(worker->atomic);
+  EXPECT_TRUE(master->atomic);
+  // The master declares the dataport and the five protocol events.
+  bool has_dataport = false;
+  for (const auto& p : master->ports) {
+    if (p.name == "dataport" && p.is_input) has_dataport = true;
+  }
+  EXPECT_TRUE(has_dataport);
+  EXPECT_EQ(master->events,
+            (std::vector<std::string>{mw::ProtocolEvents::create_pool,
+                                      mw::ProtocolEvents::create_worker,
+                                      mw::ProtocolEvents::rendezvous,
+                                      mw::ProtocolEvents::a_rendezvous,
+                                      mw::ProtocolEvents::finished}));
+  // Main's begin state is exactly ProtocolMW(Master(argv), Worker).
+  const State* begin = main->body->find_state("begin");
+  ASSERT_NE(begin, nullptr);
+  EXPECT_EQ(begin->actions[0].kind, Action::Kind::Call);
+  EXPECT_EQ(begin->actions[0].argument, "ProtocolMW");
+  EXPECT_EQ(begin->actions[0].args,
+            (std::vector<std::string>{"Master ( argv )", "Worker"}));
+}
+
+}  // namespace

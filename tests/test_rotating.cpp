@@ -1,0 +1,133 @@
+// Tests for the Molenkamp–Crowley rotating-cone system: variable-coefficient
+// upwinding, exactness properties of the rotated reference solution, and the
+// behaviour of the solver over partial and full revolutions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "transport/rotating.hpp"
+
+namespace {
+
+using namespace mg;
+using namespace mg::transport;
+
+TEST(RotatingProblem, ExactSolutionRotatesTheCone) {
+  RotatingConeProblem p;
+  // At t = 0 the cone sits at (cx + r0, cy).
+  EXPECT_NEAR(p.exact(p.cx + p.r0, p.cy, 0.0), p.amplitude, 1e-12);
+  // After a quarter turn (t = 0.25 at one rev/unit) it sits at (cx, cy + r0).
+  EXPECT_NEAR(p.exact(p.cx, p.cy + p.r0, 0.25), p.amplitude, 1e-9);
+  // After a full revolution it is back.
+  EXPECT_NEAR(p.exact(p.cx + p.r0, p.cy, 1.0), p.amplitude, 1e-9);
+}
+
+TEST(RotatingProblem, VelocityFieldIsSolidBodyRotation) {
+  RotatingConeProblem p;
+  // At the rotation centre the velocity vanishes.
+  EXPECT_DOUBLE_EQ(p.velocity_x(p.cx, p.cy), 0.0);
+  EXPECT_DOUBLE_EQ(p.velocity_y(p.cx, p.cy), 0.0);
+  // The field is divergence-free and perpendicular to the radius.
+  const double x = 0.7, y = 0.6;
+  const double vx = p.velocity_x(x, y), vy = p.velocity_y(x, y);
+  EXPECT_NEAR(vx * (x - p.cx) + vy * (y - p.cy), 0.0, 1e-12);
+}
+
+TEST(RotatingSystem, JacobianRowSumsVanishAwayFromBoundary) {
+  // Pure advection in conservation form on interior-of-interior rows: the
+  // stencil weights sum to zero (constants are in the kernel).
+  const grid::Grid2D g(2, 2, 2);
+  RotatingConeSystem system(g, RotatingConeProblem{});
+  const auto& a = system.jacobian();
+  for (std::size_t j = 2; j + 1 <= g.interior_y() - 1; ++j) {
+    for (std::size_t i = 2; i + 1 <= g.interior_x() - 1; ++i) {
+      const std::size_t row = g.interior_index(i, j);
+      double sum = 0.0;
+      for (std::size_t k = a.row_ptr()[row]; k < a.row_ptr()[row + 1]; ++k) {
+        sum += a.values()[k];
+      }
+      EXPECT_NEAR(sum, 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(RotatingSystem, UpwindOffDiagonalsAreNonNegative) {
+  const grid::Grid2D g(2, 2, 2);
+  RotatingConeSystem system(g, RotatingConeProblem{});
+  const auto& a = system.jacobian();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = a.row_ptr()[i]; k < a.row_ptr()[i + 1]; ++k) {
+      if (a.col_idx()[k] == i) {
+        EXPECT_LE(a.values()[k], 0.0);
+      } else {
+        EXPECT_GE(a.values()[k], 0.0);
+      }
+    }
+  }
+}
+
+TEST(RotatingSystem, ExpandRestrictRoundTrip) {
+  const grid::Grid2D g(2, 2, 1);
+  RotatingConeSystem system(g, RotatingConeProblem{});
+  grid::Field f(g, 0.0);
+  for (std::size_t j = 1; j <= g.interior_y(); ++j) {
+    for (std::size_t i = 1; i <= g.interior_x(); ++i) f.at(i, j) = 0.1 * (i + j);
+  }
+  const auto u = system.restrict_interior(f);
+  EXPECT_EQ(system.expand(u).max_diff(f), 0.0);
+}
+
+TEST(RotatingSolve, PeakTracksTheRotation) {
+  // After a quarter revolution the numerical peak must be near
+  // (cx, cy + r0), not at the initial position.
+  RotatingConeProblem p;
+  const grid::Grid2D g(2, 3, 3);
+  const auto r = solve_rotating_cone(g, p, 1e-4, 0.25);
+  double best = -1.0;
+  double bx = 0, by = 0;
+  for (std::size_t j = 0; j < g.nodes_y(); ++j) {
+    for (std::size_t i = 0; i < g.nodes_x(); ++i) {
+      if (r.solution.at(i, j) > best) {
+        best = r.solution.at(i, j);
+        bx = g.x(i);
+        by = g.y(j);
+      }
+    }
+  }
+  EXPECT_NEAR(bx, p.cx, 0.12);
+  EXPECT_NEAR(by, p.cy + p.r0, 0.12);
+  EXPECT_GT(best, 0.2);  // smeared by upwind diffusion, but clearly present
+}
+
+TEST(RotatingSolve, ErrorDecreasesWithRefinement) {
+  RotatingConeProblem p;
+  double prev = 1e9;
+  for (int l = 1; l <= 3; ++l) {
+    const auto r = solve_rotating_cone(grid::Grid2D(2, l, l), p, 1e-4, 0.25);
+    EXPECT_LT(r.max_error, prev);
+    prev = r.max_error;
+  }
+}
+
+TEST(RotatingSolve, UpwindKeepsTheSolutionInBounds) {
+  // Monotone scheme: no overshoots above the initial amplitude and no
+  // significant undershoots below zero.
+  RotatingConeProblem p;
+  const auto r = solve_rotating_cone(grid::Grid2D(2, 3, 3), p, 1e-4, 0.5);
+  double lo = 1e9, hi = -1e9;
+  for (double v : r.solution.data()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GE(lo, -1e-3);
+  EXPECT_LE(hi, p.amplitude * 1.001);
+}
+
+TEST(RotatingSolve, IsDeterministic) {
+  RotatingConeProblem p;
+  const auto a = solve_rotating_cone(grid::Grid2D(2, 2, 2), p, 1e-3, 0.25);
+  const auto b = solve_rotating_cone(grid::Grid2D(2, 2, 2), p, 1e-3, 0.25);
+  EXPECT_EQ(a.solution.max_diff(b.solution), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,222 @@
+// Concurrency stress tests for the coordination runtime: many threads
+// hammering the event memory and ports, large worker pools, repeated
+// runtime construction/teardown, and randomized-duration protocol sweeps.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster_sim.hpp"
+#include "core/master.hpp"
+#include "core/protocol.hpp"
+#include "core/worker.hpp"
+#include "manifold/event.hpp"
+#include "manifold/runtime.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace mg;
+using iwim::Unit;
+using namespace std::chrono_literals;
+
+TEST(Stress, EventMemoryManyConcurrentDepositors) {
+  iwim::EventMemory mem;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mem, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        mem.deposit({"evt", static_cast<std::uint64_t>(t), ""});
+      }
+    });
+  }
+  int taken = 0;
+  for (int i = 0; i < kThreads * kPerThread; ++i) {
+    mem.await({{"evt", std::nullopt}});
+    ++taken;
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(taken, kThreads * kPerThread);
+  EXPECT_EQ(mem.size(), 0u);
+}
+
+TEST(Stress, EventMemoryConcurrentTakersSplitTheEvents) {
+  iwim::EventMemory mem;
+  constexpr int kEvents = 4000;
+  std::atomic<int> taken{0};
+  std::vector<std::thread> takers;
+  for (int t = 0; t < 4; ++t) {
+    takers.emplace_back([&] {
+      for (int i = 0; i < kEvents / 4; ++i) {
+        mem.await({{"evt", std::nullopt}});
+        ++taken;
+      }
+    });
+  }
+  for (int i = 0; i < kEvents; ++i) mem.deposit({"evt", 0, ""});
+  for (auto& t : takers) t.join();
+  EXPECT_EQ(taken.load(), kEvents);
+}
+
+TEST(Stress, PortManyWritersOneReader) {
+  iwim::Runtime runtime;
+  constexpr int kWriters = 6;
+  constexpr std::int64_t kPerWriter = 1000;
+  std::int64_t sum = 0;
+  auto reader = runtime.create_process("Reader", "r", [&](iwim::ProcessContext& ctx) {
+    for (std::int64_t i = 0; i < kWriters * kPerWriter; ++i) {
+      sum += ctx.read().as<std::int64_t>();
+    }
+  });
+  std::vector<std::shared_ptr<iwim::AtomicProcess>> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.push_back(
+        runtime.create_process("Writer", "w" + std::to_string(w), [](iwim::ProcessContext& ctx) {
+          for (std::int64_t i = 1; i <= kPerWriter; ++i) ctx.write(Unit::of(i));
+        }));
+    runtime.connect(writers.back()->port("output"), reader->port("input"));
+  }
+  reader->activate();
+  for (auto& w : writers) w->activate();
+  reader->wait_terminated();
+  EXPECT_EQ(sum, kWriters * kPerWriter * (kPerWriter + 1) / 2);
+}
+
+TEST(Stress, LargeWorkerPool) {
+  constexpr std::int64_t kWorkers = 200;
+  iwim::Runtime runtime;
+  std::int64_t total = 0;
+  auto master = mw::make_master(runtime, "m", [&](mw::MasterApi& api, iwim::ProcessContext&) {
+    api.create_pool();
+    for (std::int64_t k = 0; k < kWorkers; ++k) {
+      api.create_worker();
+      api.send_work(Unit::of(k));
+    }
+    for (std::int64_t k = 0; k < kWorkers; ++k) total += api.collect_result().as<std::int64_t>();
+    api.rendezvous();
+    api.finished();
+  });
+  const auto stats = mw::run_main_program(
+      runtime, master, mw::make_worker_factory([](const Unit& u) { return u; }));
+  EXPECT_EQ(stats.workers_created, static_cast<std::size_t>(kWorkers));
+  EXPECT_EQ(total, kWorkers * (kWorkers - 1) / 2);
+}
+
+TEST(Stress, RepeatedRuntimeLifecycles) {
+  // Construct, use and tear down many runtimes back to back; shutdown must
+  // always join cleanly even with processes blocked on reads.
+  for (int round = 0; round < 25; ++round) {
+    iwim::Runtime runtime;
+    auto blocked = runtime.create_process("B", "b", [](iwim::ProcessContext& ctx) {
+      ctx.read("input");  // woken only by shutdown
+    });
+    auto quick = runtime.create_process("Q", "q", [](iwim::ProcessContext& ctx) {
+      ctx.raise("done");
+    });
+    blocked->activate();
+    quick->activate();
+    quick->wait_terminated();
+    runtime.shutdown();
+  }
+  SUCCEED();
+}
+
+class ProtocolSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProtocolSeedSweep, RandomWorkDurationsNeverBreakTheRendezvous) {
+  // Workers sleep for random short durations, so deaths, results and new
+  // create_worker events interleave differently on every seed; the protocol
+  // must deliver exactly one result per worker and one acknowledged
+  // rendezvous regardless.
+  support::Xoshiro256 rng(GetParam());
+  std::vector<int> delays_ms;
+  for (int k = 0; k < 12; ++k) delays_ms.push_back(static_cast<int>(rng.below(12)));
+
+  iwim::Runtime runtime;
+  std::atomic<int> computed{0};
+  std::int64_t collected = 0;
+  auto master = mw::make_master(runtime, "m", [&](mw::MasterApi& api, iwim::ProcessContext&) {
+    api.create_pool();
+    for (std::size_t k = 0; k < delays_ms.size(); ++k) {
+      api.create_worker();
+      api.send_work(Unit::of(static_cast<std::int64_t>(k)));
+    }
+    for (std::size_t k = 0; k < delays_ms.size(); ++k) {
+      collected += api.collect_result().as<std::int64_t>();
+    }
+    api.rendezvous();
+    api.finished();
+  });
+  auto factory = mw::make_worker_factory([&](const Unit& u) {
+    const auto k = u.as<std::int64_t>();
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(delays_ms[static_cast<std::size_t>(k)]));
+    ++computed;
+    return Unit::of(k + 100);
+  });
+  mw::run_main_program(runtime, master, std::move(factory));
+  EXPECT_EQ(computed.load(), static_cast<int>(delays_ms.size()));
+  EXPECT_EQ(collected,
+            static_cast<std::int64_t>(delays_ms.size()) * 100 +
+                static_cast<std::int64_t>(delays_ms.size() * (delays_ms.size() - 1) / 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolSeedSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+TEST(Stress, ProtocolEventSequenceObservedBySpy) {
+  // A spy process saves every protocol event (broadcasts reach everyone);
+  // after the run its memory must reflect the §4.3 choreography counts.
+  iwim::Runtime runtime;
+  auto spy = runtime.create_process("Spy", "spy", [](iwim::ProcessContext& ctx) {
+    ctx.await({{"__never__", std::nullopt}});  // park until shutdown, saving all
+  });
+  spy->activate();
+
+  constexpr std::int64_t kWorkers = 5;
+  auto master = mw::make_master(runtime, "m", [&](mw::MasterApi& api, iwim::ProcessContext&) {
+    api.create_pool();
+    for (std::int64_t k = 0; k < kWorkers; ++k) {
+      api.create_worker();
+      api.send_work(Unit::of(k));
+    }
+    for (std::int64_t k = 0; k < kWorkers; ++k) api.collect_result();
+    api.rendezvous();
+    api.finished();
+  });
+  mw::run_main_program(runtime, master,
+                       mw::make_worker_factory([](const Unit& u) { return u; }));
+
+  auto count = [&](const char* name) {
+    return spy->events().count({name, std::nullopt});
+  };
+  EXPECT_EQ(count(mw::ProtocolEvents::create_pool), 1u);
+  EXPECT_EQ(count(mw::ProtocolEvents::create_worker), static_cast<std::size_t>(kWorkers));
+  EXPECT_EQ(count(mw::ProtocolEvents::death_worker), static_cast<std::size_t>(kWorkers));
+  EXPECT_EQ(count(mw::ProtocolEvents::rendezvous), 1u);
+  EXPECT_EQ(count(mw::ProtocolEvents::a_rendezvous), 1u);
+  EXPECT_EQ(count(mw::ProtocolEvents::finished), 1u);
+  runtime.shutdown();
+}
+
+TEST(Stress, WeightedAverageCrossCheckAgainstWorkerTimelines) {
+  // Independent computation of Table 1's m: sum of per-machine busy time
+  // from the worker timelines (plus the master's full-run residency) must
+  // agree with the ebb-flow weighted average.
+  const mg::cluster::AthlonCostModel cost;
+  mg::cluster::SimConfig config;
+  config.noise_amplitude = 0.0;
+  const auto run = mg::cluster::simulate_run(2, 11, 1e-3, cost, config, 7);
+
+  // Busy span per task: first claim (requested) to death, summed per task
+  // occupancy periods: approximate via per-worker [requested, death).
+  double busy = run.concurrent_seconds;  // the master's machine
+  for (const auto& w : run.workers) busy += w.death - w.requested;
+  const double m_estimate = busy / run.concurrent_seconds;
+  EXPECT_NEAR(run.weighted_machines, m_estimate, 0.35 * m_estimate);
+}
+
+}  // namespace
