@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_ebbflow.dir/fig1_ebbflow.cpp.o"
+  "CMakeFiles/fig1_ebbflow.dir/fig1_ebbflow.cpp.o.d"
+  "fig1_ebbflow"
+  "fig1_ebbflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_ebbflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

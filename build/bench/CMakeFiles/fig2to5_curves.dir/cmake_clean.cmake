@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2to5_curves.dir/fig2to5_curves.cpp.o"
+  "CMakeFiles/fig2to5_curves.dir/fig2to5_curves.cpp.o.d"
+  "fig2to5_curves"
+  "fig2to5_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2to5_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

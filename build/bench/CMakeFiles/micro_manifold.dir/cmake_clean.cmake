@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_manifold.dir/micro_manifold.cpp.o"
+  "CMakeFiles/micro_manifold.dir/micro_manifold.cpp.o.d"
+  "micro_manifold"
+  "micro_manifold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_manifold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_trace.dir/distributed_trace.cpp.o"
+  "CMakeFiles/distributed_trace.dir/distributed_trace.cpp.o.d"
+  "distributed_trace"
+  "distributed_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molenkamp.dir/molenkamp.cpp.o"
+  "CMakeFiles/molenkamp.dir/molenkamp.cpp.o.d"
+  "molenkamp"
+  "molenkamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molenkamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

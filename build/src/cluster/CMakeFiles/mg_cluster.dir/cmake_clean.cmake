@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_cluster.dir/cluster_sim.cpp.o"
+  "CMakeFiles/mg_cluster.dir/cluster_sim.cpp.o.d"
+  "CMakeFiles/mg_cluster.dir/cost_model.cpp.o"
+  "CMakeFiles/mg_cluster.dir/cost_model.cpp.o.d"
+  "CMakeFiles/mg_cluster.dir/host.cpp.o"
+  "CMakeFiles/mg_cluster.dir/host.cpp.o.d"
+  "libmg_cluster.a"
+  "libmg_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/concurrent_solver.cpp" "src/core/CMakeFiles/mg_core.dir/concurrent_solver.cpp.o" "gcc" "src/core/CMakeFiles/mg_core.dir/concurrent_solver.cpp.o.d"
+  "/root/repo/src/core/marshal.cpp" "src/core/CMakeFiles/mg_core.dir/marshal.cpp.o" "gcc" "src/core/CMakeFiles/mg_core.dir/marshal.cpp.o.d"
+  "/root/repo/src/core/master.cpp" "src/core/CMakeFiles/mg_core.dir/master.cpp.o" "gcc" "src/core/CMakeFiles/mg_core.dir/master.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/mg_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/mg_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/worker.cpp" "src/core/CMakeFiles/mg_core.dir/worker.cpp.o" "gcc" "src/core/CMakeFiles/mg_core.dir/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/manifold/CMakeFiles/mg_manifold.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/mg_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/mg_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/rosenbrock/CMakeFiles/mg_rosenbrock.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

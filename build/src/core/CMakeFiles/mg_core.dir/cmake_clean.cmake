@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_core.dir/concurrent_solver.cpp.o"
+  "CMakeFiles/mg_core.dir/concurrent_solver.cpp.o.d"
+  "CMakeFiles/mg_core.dir/marshal.cpp.o"
+  "CMakeFiles/mg_core.dir/marshal.cpp.o.d"
+  "CMakeFiles/mg_core.dir/master.cpp.o"
+  "CMakeFiles/mg_core.dir/master.cpp.o.d"
+  "CMakeFiles/mg_core.dir/protocol.cpp.o"
+  "CMakeFiles/mg_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/mg_core.dir/worker.cpp.o"
+  "CMakeFiles/mg_core.dir/worker.cpp.o.d"
+  "libmg_core.a"
+  "libmg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

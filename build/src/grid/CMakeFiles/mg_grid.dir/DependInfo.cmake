@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/combination.cpp" "src/grid/CMakeFiles/mg_grid.dir/combination.cpp.o" "gcc" "src/grid/CMakeFiles/mg_grid.dir/combination.cpp.o.d"
+  "/root/repo/src/grid/field.cpp" "src/grid/CMakeFiles/mg_grid.dir/field.cpp.o" "gcc" "src/grid/CMakeFiles/mg_grid.dir/field.cpp.o.d"
+  "/root/repo/src/grid/grid2d.cpp" "src/grid/CMakeFiles/mg_grid.dir/grid2d.cpp.o" "gcc" "src/grid/CMakeFiles/mg_grid.dir/grid2d.cpp.o.d"
+  "/root/repo/src/grid/prolongation.cpp" "src/grid/CMakeFiles/mg_grid.dir/prolongation.cpp.o" "gcc" "src/grid/CMakeFiles/mg_grid.dir/prolongation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mg_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mg_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_grid.dir/combination.cpp.o"
+  "CMakeFiles/mg_grid.dir/combination.cpp.o.d"
+  "CMakeFiles/mg_grid.dir/field.cpp.o"
+  "CMakeFiles/mg_grid.dir/field.cpp.o.d"
+  "CMakeFiles/mg_grid.dir/grid2d.cpp.o"
+  "CMakeFiles/mg_grid.dir/grid2d.cpp.o.d"
+  "CMakeFiles/mg_grid.dir/prolongation.cpp.o"
+  "CMakeFiles/mg_grid.dir/prolongation.cpp.o.d"
+  "libmg_grid.a"
+  "libmg_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

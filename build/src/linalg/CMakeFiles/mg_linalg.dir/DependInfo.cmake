@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/banded.cpp" "src/linalg/CMakeFiles/mg_linalg.dir/banded.cpp.o" "gcc" "src/linalg/CMakeFiles/mg_linalg.dir/banded.cpp.o.d"
+  "/root/repo/src/linalg/bicgstab.cpp" "src/linalg/CMakeFiles/mg_linalg.dir/bicgstab.cpp.o" "gcc" "src/linalg/CMakeFiles/mg_linalg.dir/bicgstab.cpp.o.d"
+  "/root/repo/src/linalg/csr.cpp" "src/linalg/CMakeFiles/mg_linalg.dir/csr.cpp.o" "gcc" "src/linalg/CMakeFiles/mg_linalg.dir/csr.cpp.o.d"
+  "/root/repo/src/linalg/precond.cpp" "src/linalg/CMakeFiles/mg_linalg.dir/precond.cpp.o" "gcc" "src/linalg/CMakeFiles/mg_linalg.dir/precond.cpp.o.d"
+  "/root/repo/src/linalg/vector_ops.cpp" "src/linalg/CMakeFiles/mg_linalg.dir/vector_ops.cpp.o" "gcc" "src/linalg/CMakeFiles/mg_linalg.dir/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_linalg.dir/banded.cpp.o"
+  "CMakeFiles/mg_linalg.dir/banded.cpp.o.d"
+  "CMakeFiles/mg_linalg.dir/bicgstab.cpp.o"
+  "CMakeFiles/mg_linalg.dir/bicgstab.cpp.o.d"
+  "CMakeFiles/mg_linalg.dir/csr.cpp.o"
+  "CMakeFiles/mg_linalg.dir/csr.cpp.o.d"
+  "CMakeFiles/mg_linalg.dir/precond.cpp.o"
+  "CMakeFiles/mg_linalg.dir/precond.cpp.o.d"
+  "CMakeFiles/mg_linalg.dir/vector_ops.cpp.o"
+  "CMakeFiles/mg_linalg.dir/vector_ops.cpp.o.d"
+  "libmg_linalg.a"
+  "libmg_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

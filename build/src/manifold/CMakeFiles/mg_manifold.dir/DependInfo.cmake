@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/manifold/builtins.cpp" "src/manifold/CMakeFiles/mg_manifold.dir/builtins.cpp.o" "gcc" "src/manifold/CMakeFiles/mg_manifold.dir/builtins.cpp.o.d"
+  "/root/repo/src/manifold/event.cpp" "src/manifold/CMakeFiles/mg_manifold.dir/event.cpp.o" "gcc" "src/manifold/CMakeFiles/mg_manifold.dir/event.cpp.o.d"
+  "/root/repo/src/manifold/minilang.cpp" "src/manifold/CMakeFiles/mg_manifold.dir/minilang.cpp.o" "gcc" "src/manifold/CMakeFiles/mg_manifold.dir/minilang.cpp.o.d"
+  "/root/repo/src/manifold/mlink.cpp" "src/manifold/CMakeFiles/mg_manifold.dir/mlink.cpp.o" "gcc" "src/manifold/CMakeFiles/mg_manifold.dir/mlink.cpp.o.d"
+  "/root/repo/src/manifold/port.cpp" "src/manifold/CMakeFiles/mg_manifold.dir/port.cpp.o" "gcc" "src/manifold/CMakeFiles/mg_manifold.dir/port.cpp.o.d"
+  "/root/repo/src/manifold/process.cpp" "src/manifold/CMakeFiles/mg_manifold.dir/process.cpp.o" "gcc" "src/manifold/CMakeFiles/mg_manifold.dir/process.cpp.o.d"
+  "/root/repo/src/manifold/runtime.cpp" "src/manifold/CMakeFiles/mg_manifold.dir/runtime.cpp.o" "gcc" "src/manifold/CMakeFiles/mg_manifold.dir/runtime.cpp.o.d"
+  "/root/repo/src/manifold/state_scope.cpp" "src/manifold/CMakeFiles/mg_manifold.dir/state_scope.cpp.o" "gcc" "src/manifold/CMakeFiles/mg_manifold.dir/state_scope.cpp.o.d"
+  "/root/repo/src/manifold/task.cpp" "src/manifold/CMakeFiles/mg_manifold.dir/task.cpp.o" "gcc" "src/manifold/CMakeFiles/mg_manifold.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mg_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mg_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

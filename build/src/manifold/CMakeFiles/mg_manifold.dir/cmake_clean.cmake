@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_manifold.dir/builtins.cpp.o"
+  "CMakeFiles/mg_manifold.dir/builtins.cpp.o.d"
+  "CMakeFiles/mg_manifold.dir/event.cpp.o"
+  "CMakeFiles/mg_manifold.dir/event.cpp.o.d"
+  "CMakeFiles/mg_manifold.dir/minilang.cpp.o"
+  "CMakeFiles/mg_manifold.dir/minilang.cpp.o.d"
+  "CMakeFiles/mg_manifold.dir/mlink.cpp.o"
+  "CMakeFiles/mg_manifold.dir/mlink.cpp.o.d"
+  "CMakeFiles/mg_manifold.dir/port.cpp.o"
+  "CMakeFiles/mg_manifold.dir/port.cpp.o.d"
+  "CMakeFiles/mg_manifold.dir/process.cpp.o"
+  "CMakeFiles/mg_manifold.dir/process.cpp.o.d"
+  "CMakeFiles/mg_manifold.dir/runtime.cpp.o"
+  "CMakeFiles/mg_manifold.dir/runtime.cpp.o.d"
+  "CMakeFiles/mg_manifold.dir/state_scope.cpp.o"
+  "CMakeFiles/mg_manifold.dir/state_scope.cpp.o.d"
+  "CMakeFiles/mg_manifold.dir/task.cpp.o"
+  "CMakeFiles/mg_manifold.dir/task.cpp.o.d"
+  "libmg_manifold.a"
+  "libmg_manifold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_manifold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

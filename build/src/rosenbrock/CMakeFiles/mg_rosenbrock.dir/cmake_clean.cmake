@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_rosenbrock.dir/ros2.cpp.o"
+  "CMakeFiles/mg_rosenbrock.dir/ros2.cpp.o.d"
+  "libmg_rosenbrock.a"
+  "libmg_rosenbrock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_rosenbrock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_support.dir/bytes.cpp.o"
+  "CMakeFiles/mg_support.dir/bytes.cpp.o.d"
+  "CMakeFiles/mg_support.dir/log.cpp.o"
+  "CMakeFiles/mg_support.dir/log.cpp.o.d"
+  "CMakeFiles/mg_support.dir/rng.cpp.o"
+  "CMakeFiles/mg_support.dir/rng.cpp.o.d"
+  "CMakeFiles/mg_support.dir/stopwatch.cpp.o"
+  "CMakeFiles/mg_support.dir/stopwatch.cpp.o.d"
+  "libmg_support.a"
+  "libmg_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_trace.dir/ebb_flow.cpp.o"
+  "CMakeFiles/mg_trace.dir/ebb_flow.cpp.o.d"
+  "CMakeFiles/mg_trace.dir/trace_log.cpp.o"
+  "CMakeFiles/mg_trace.dir/trace_log.cpp.o.d"
+  "libmg_trace.a"
+  "libmg_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/koren.cpp" "src/transport/CMakeFiles/mg_transport.dir/koren.cpp.o" "gcc" "src/transport/CMakeFiles/mg_transport.dir/koren.cpp.o.d"
+  "/root/repo/src/transport/problem.cpp" "src/transport/CMakeFiles/mg_transport.dir/problem.cpp.o" "gcc" "src/transport/CMakeFiles/mg_transport.dir/problem.cpp.o.d"
+  "/root/repo/src/transport/rotating.cpp" "src/transport/CMakeFiles/mg_transport.dir/rotating.cpp.o" "gcc" "src/transport/CMakeFiles/mg_transport.dir/rotating.cpp.o.d"
+  "/root/repo/src/transport/seq_solver.cpp" "src/transport/CMakeFiles/mg_transport.dir/seq_solver.cpp.o" "gcc" "src/transport/CMakeFiles/mg_transport.dir/seq_solver.cpp.o.d"
+  "/root/repo/src/transport/subsolve.cpp" "src/transport/CMakeFiles/mg_transport.dir/subsolve.cpp.o" "gcc" "src/transport/CMakeFiles/mg_transport.dir/subsolve.cpp.o.d"
+  "/root/repo/src/transport/system.cpp" "src/transport/CMakeFiles/mg_transport.dir/system.cpp.o" "gcc" "src/transport/CMakeFiles/mg_transport.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mg_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/mg_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/rosenbrock/CMakeFiles/mg_rosenbrock.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

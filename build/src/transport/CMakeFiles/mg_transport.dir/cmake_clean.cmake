@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_transport.dir/koren.cpp.o"
+  "CMakeFiles/mg_transport.dir/koren.cpp.o.d"
+  "CMakeFiles/mg_transport.dir/problem.cpp.o"
+  "CMakeFiles/mg_transport.dir/problem.cpp.o.d"
+  "CMakeFiles/mg_transport.dir/rotating.cpp.o"
+  "CMakeFiles/mg_transport.dir/rotating.cpp.o.d"
+  "CMakeFiles/mg_transport.dir/seq_solver.cpp.o"
+  "CMakeFiles/mg_transport.dir/seq_solver.cpp.o.d"
+  "CMakeFiles/mg_transport.dir/subsolve.cpp.o"
+  "CMakeFiles/mg_transport.dir/subsolve.cpp.o.d"
+  "CMakeFiles/mg_transport.dir/system.cpp.o"
+  "CMakeFiles/mg_transport.dir/system.cpp.o.d"
+  "libmg_transport.a"
+  "libmg_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

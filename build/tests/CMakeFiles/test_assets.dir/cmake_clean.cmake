@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assets.dir/test_assets.cpp.o"
+  "CMakeFiles/test_assets.dir/test_assets.cpp.o.d"
+  "test_assets"
+  "test_assets.pdb"
+  "test_assets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_koren.dir/test_koren.cpp.o"
+  "CMakeFiles/test_koren.dir/test_koren.cpp.o.d"
+  "test_koren"
+  "test_koren.pdb"
+  "test_koren[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_koren.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_manifold.dir/test_manifold.cpp.o"
+  "CMakeFiles/test_manifold.dir/test_manifold.cpp.o.d"
+  "test_manifold"
+  "test_manifold.pdb"
+  "test_manifold[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_manifold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_marshal.cpp" "tests/CMakeFiles/test_marshal.dir/test_marshal.cpp.o" "gcc" "tests/CMakeFiles/test_marshal.dir/test_marshal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mg_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/mg_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/rosenbrock/CMakeFiles/mg_rosenbrock.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/mg_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/manifold/CMakeFiles/mg_manifold.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mg_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mg_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mlink.dir/test_mlink.cpp.o"
+  "CMakeFiles/test_mlink.dir/test_mlink.cpp.o.d"
+  "test_mlink"
+  "test_mlink.pdb"
+  "test_mlink[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

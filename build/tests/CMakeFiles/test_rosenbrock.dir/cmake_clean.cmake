@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rosenbrock.dir/test_rosenbrock.cpp.o"
+  "CMakeFiles/test_rosenbrock.dir/test_rosenbrock.cpp.o.d"
+  "test_rosenbrock"
+  "test_rosenbrock.pdb"
+  "test_rosenbrock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rosenbrock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_grid[1]_include.cmake")
+include("/root/repo/build/tests/test_rosenbrock[1]_include.cmake")
+include("/root/repo/build/tests/test_transport[1]_include.cmake")
+include("/root/repo/build/tests/test_manifold[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_mlink[1]_include.cmake")
+include("/root/repo/build/tests/test_koren[1]_include.cmake")
+include("/root/repo/build/tests/test_rotating[1]_include.cmake")
+include("/root/repo/build/tests/test_marshal[1]_include.cmake")
+include("/root/repo/build/tests/test_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_assets[1]_include.cmake")
+include("/root/repo/build/tests/test_minilang[1]_include.cmake")
