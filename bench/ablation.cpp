@@ -16,11 +16,17 @@
 //                           in the real subsolve kernel.
 //  G. Advection scheme    — central (2nd order) vs upwind (1st order)
 //                           accuracy against the analytic solution.
+// Usage: ablation [--report=PATH] — the report captures every section's
+// numbers plus the metrics-registry snapshot (the real-runtime sections E-G
+// also exercise the wall-clock instrumentation).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "cluster/cluster_sim.hpp"
 #include "cluster/cost_model.hpp"
 #include "core/concurrent_solver.hpp"
+#include "obs/report.hpp"
 #include "support/stopwatch.hpp"
 #include "transport/seq_solver.hpp"
 
@@ -28,7 +34,27 @@ namespace {
 
 using namespace mg;
 
-void ablation_pool_structure(const cluster::AthlonCostModel& cost) {
+/// Collects one {"section": ..., "entries": [...]} object per ablation when
+/// a --report path was given; null rep -> sections print only.
+struct ReportSink {
+  obs::JsonWriter* rep = nullptr;
+
+  void begin_section(const char* name) {
+    if (rep == nullptr) return;
+    rep->begin_object();
+    rep->kv("section", name);
+    rep->key("entries").begin_array();
+  }
+  void end_section() {
+    if (rep == nullptr) return;
+    rep->end_array();
+    rep->end_object();
+  }
+  obs::JsonWriter* entries() { return rep; }
+};
+
+void ablation_pool_structure(const cluster::AthlonCostModel& cost, ReportSink& sink) {
+  sink.begin_section("pool_structure");
   std::printf("\n--- A. pool structure (simulated, level 12, tol 1e-3) ---\n");
   for (bool per_family : {false, true}) {
     cluster::SimConfig config;
@@ -36,10 +62,18 @@ void ablation_pool_structure(const cluster::AthlonCostModel& cost) {
     const auto row = cluster::simulate_table_row(2, 12, 1e-3, cost, config);
     std::printf("  %-22s ct = %7.2f s, m = %4.1f, su = %4.1f\n",
                 per_family ? "pool per lm family" : "single pool (paper)", row.ct, row.m, row.su);
+    if (auto* w = sink.entries()) {
+      w->begin_object();
+      w->kv("label", per_family ? "pool_per_family" : "single_pool");
+      w->kv("ct", row.ct).kv("m", row.m).kv("su", row.su);
+      w->end_object();
+    }
   }
+  sink.end_section();
 }
 
-void ablation_perpetual(const cluster::AthlonCostModel& cost) {
+void ablation_perpetual(const cluster::AthlonCostModel& cost, ReportSink& sink) {
+  sink.begin_section("perpetual_tasks");
   std::printf("\n--- B. perpetual task instances (simulated, level 8, tol 1e-3) ---\n");
   for (bool perpetual : {true, false}) {
     cluster::SimConfig config;
@@ -48,35 +82,64 @@ void ablation_perpetual(const cluster::AthlonCostModel& cost) {
     std::printf("  perpetual=%-5s ct = %6.2f s, tasks forked = %2zu, peak machines = %2d\n",
                 perpetual ? "on" : "off", run.concurrent_seconds, run.tasks_spawned,
                 run.peak_machines);
+    if (auto* w = sink.entries()) {
+      w->begin_object();
+      w->kv("label", perpetual ? "perpetual_on" : "perpetual_off");
+      w->kv("ct", run.concurrent_seconds);
+      w->kv("tasks_spawned", static_cast<std::uint64_t>(run.tasks_spawned));
+      w->kv("peak_machines", run.peak_machines);
+      w->end_object();
+    }
   }
+  sink.end_section();
 }
 
-void ablation_cluster_mix(const cluster::AthlonCostModel& cost) {
+void ablation_cluster_mix(const cluster::AthlonCostModel& cost, ReportSink& sink) {
+  sink.begin_section("cluster_mix");
   std::printf("\n--- C. cluster composition (simulated, level 15, tol 1e-3) ---\n");
   {
     cluster::SimConfig config;
     const auto row = cluster::simulate_table_row(2, 15, 1e-3, cost, config);
     std::printf("  paper mix (24x1200+5x1400+3x1466)  ct = %7.2f s, su = %4.1f\n", row.ct, row.su);
+    if (auto* w = sink.entries()) {
+      w->begin_object();
+      w->kv("label", "paper_mix").kv("ct", row.ct).kv("su", row.su);
+      w->end_object();
+    }
   }
   {
     cluster::SimConfig config;
     config.cluster = cluster::ClusterSpec::homogeneous(32, 1200.0);
     const auto row = cluster::simulate_table_row(2, 15, 1e-3, cost, config);
     std::printf("  homogeneous 32x1200               ct = %7.2f s, su = %4.1f\n", row.ct, row.su);
+    if (auto* w = sink.entries()) {
+      w->begin_object();
+      w->kv("label", "homogeneous_32x1200").kv("ct", row.ct).kv("su", row.su);
+      w->end_object();
+    }
   }
+  sink.end_section();
 }
 
-void ablation_network(const cluster::AthlonCostModel& cost) {
+void ablation_network(const cluster::AthlonCostModel& cost, ReportSink& sink) {
+  sink.begin_section("network_bandwidth");
   std::printf("\n--- D. network bandwidth (simulated, level 15, tol 1e-3) ---\n");
   for (double mbps : {10.0, 100.0, 1000.0}) {
     cluster::SimConfig config;
     config.network.bandwidth_bps = mbps * 1e6;
     const auto row = cluster::simulate_table_row(2, 15, 1e-3, cost, config);
     std::printf("  %6.0f Mbps   ct = %7.2f s, su = %4.1f\n", mbps, row.ct, row.su);
+    if (auto* w = sink.entries()) {
+      w->begin_object();
+      w->kv("mbps", mbps).kv("ct", row.ct).kv("su", row.su);
+      w->end_object();
+    }
   }
+  sink.end_section();
 }
 
-void ablation_background_jobs(const cluster::AthlonCostModel& cost) {
+void ablation_background_jobs(const cluster::AthlonCostModel& cost, ReportSink& sink) {
+  sink.begin_section("background_jobs");
   std::printf("\n--- D2. background jobs on the cluster (simulated, level 15, tol 1e-3) ---\n");
   for (double p : {0.0, 0.2, 0.5}) {
     cluster::SimConfig config;
@@ -84,10 +147,17 @@ void ablation_background_jobs(const cluster::AthlonCostModel& cost) {
     config.background_slowdown = 2.0;
     const auto row = cluster::simulate_table_row(2, 15, 1e-3, cost, config);
     std::printf("  P(background job) = %.1f   ct = %7.2f s, su = %4.1f\n", p, row.ct, row.su);
+    if (auto* w = sink.entries()) {
+      w->begin_object();
+      w->kv("probability", p).kv("ct", row.ct).kv("su", row.su);
+      w->end_object();
+    }
   }
+  sink.end_section();
 }
 
-void ablation_data_path() {
+void ablation_data_path(ReportSink& sink) {
+  sink.begin_section("data_path");
   std::printf("\n--- E. data path (real threaded runtime, root 2, level 4, tol 1e-3) ---\n");
   transport::ProgramConfig program;
   program.root = 2;
@@ -100,12 +170,20 @@ void ablation_data_path() {
     support::Stopwatch sw;
     const auto conc = mw::solve_concurrent(program, options);
     const double elapsed = sw.elapsed_seconds();
+    const double diff = conc.solve.combined.max_diff(seq.combined);
     std::printf("  %-15s wall = %6.3f s, max |diff vs sequential| = %g\n", to_string(path),
-                elapsed, conc.solve.combined.max_diff(seq.combined));
+                elapsed, diff);
+    if (auto* w = sink.entries()) {
+      w->begin_object();
+      w->kv("label", to_string(path)).kv("wall_s", elapsed).kv("max_diff", diff);
+      w->end_object();
+    }
   }
+  sink.end_section();
 }
 
-void ablation_parallel_bundling() {
+void ablation_parallel_bundling(ReportSink& sink) {
+  sink.begin_section("mlink_bundling");
   // §6: raising the MLINK load bundles all workers into the startup task
   // ("the application executes in parallel (i.e., not distributed)").  On
   // this machine both variants run on the same cores; the measured gap is
@@ -122,13 +200,23 @@ void ablation_parallel_bundling() {
                         : iwim::TaskCompositionSpec::paper_distributed();
     support::Stopwatch sw;
     const auto result = mw::solve_concurrent(program, options);
+    const double wall = sw.elapsed_seconds();
     std::printf("  %-18s wall = %6.3f s, task instances = %zu\n",
-                parallel ? "parallel (load N)" : "distributed (load 1)", sw.elapsed_seconds(),
+                parallel ? "parallel (load N)" : "distributed (load 1)", wall,
                 result.tasks.tasks_created);
+    if (auto* w = sink.entries()) {
+      w->begin_object();
+      w->kv("label", parallel ? "parallel_load_n" : "distributed_load_1");
+      w->kv("wall_s", wall);
+      w->kv("task_instances", static_cast<std::uint64_t>(result.tasks.tasks_created));
+      w->end_object();
+    }
   }
+  sink.end_section();
 }
 
-void ablation_stage_solver() {
+void ablation_stage_solver(ReportSink& sink) {
+  sink.begin_section("stage_solver");
   std::printf("\n--- F. stage solver in subsolve (real kernel, grid G(2;3,3), tol 1e-4) ---\n");
   const grid::Grid2D g(2, 3, 3);
   for (auto kind : {transport::StageSolverKind::BandedLU, transport::StageSolverKind::BiCgStabIlu0,
@@ -140,10 +228,20 @@ void ablation_stage_solver() {
     std::printf("  %-16s wall = %6.3f s, steps = %3zu (+%zu rejected), solves = %3zu\n",
                 to_string(kind), r.elapsed_seconds, r.stats.accepted, r.stats.rejected,
                 r.stats.stage_solves);
+    if (auto* w = sink.entries()) {
+      w->begin_object();
+      w->kv("label", to_string(kind)).kv("wall_s", r.elapsed_seconds);
+      w->kv("steps_accepted", static_cast<std::uint64_t>(r.stats.accepted));
+      w->kv("steps_rejected", static_cast<std::uint64_t>(r.stats.rejected));
+      w->kv("stage_solves", static_cast<std::uint64_t>(r.stats.stage_solves));
+      w->end_object();
+    }
   }
+  sink.end_section();
 }
 
-void ablation_advection_scheme() {
+void ablation_advection_scheme(ReportSink& sink) {
+  sink.begin_section("advection_scheme");
   std::printf("\n--- G. advection scheme accuracy (grid G(2;4,4), tol 1e-5) ---\n");
   const grid::Grid2D g(2, 4, 4);
   for (auto scheme : {transport::AdvectionScheme::Central2, transport::AdvectionScheme::Upwind1}) {
@@ -156,22 +254,49 @@ void ablation_advection_scheme() {
     const double err =
         r.solution.max_error([&](double x, double y) { return p.exact(x, y, t1); });
     std::printf("  %-10s max error vs analytic = %.3e\n", to_string(scheme), err);
+    if (auto* w = sink.entries()) {
+      w->begin_object();
+      w->kv("label", to_string(scheme)).kv("max_error", err);
+      w->end_object();
+    }
   }
+  sink.end_section();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string report_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--report=", 9) == 0) report_path = argv[i] + 9;
+  }
+
   std::printf("=== Ablation benches (design choices named in the paper) ===\n");
+  obs::RunReport report("ablation");
+  ReportSink sink;
+  if (!report_path.empty()) {
+    report.config().begin_object().end_object();
+    report.derived().begin_object();
+    report.derived().key("sections").begin_array();
+    sink.rep = &report.derived();
+  }
+
   const cluster::AthlonCostModel cost;
-  ablation_pool_structure(cost);
-  ablation_perpetual(cost);
-  ablation_cluster_mix(cost);
-  ablation_network(cost);
-  ablation_background_jobs(cost);
-  ablation_data_path();
-  ablation_parallel_bundling();
-  ablation_stage_solver();
-  ablation_advection_scheme();
+  ablation_pool_structure(cost, sink);
+  ablation_perpetual(cost, sink);
+  ablation_cluster_mix(cost, sink);
+  ablation_network(cost, sink);
+  ablation_background_jobs(cost, sink);
+  ablation_data_path(sink);
+  ablation_parallel_bundling(sink);
+  ablation_stage_solver(sink);
+  ablation_advection_scheme(sink);
+
+  if (!report_path.empty()) {
+    report.derived().end_array();
+    report.derived().end_object();
+    if (!report.write(report_path)) return 1;
+    std::printf("\nreport written to %s\n", report_path.c_str());
+  }
   return 0;
 }

@@ -7,28 +7,45 @@
 // Table-1 averages for the two tolerances).  We plot one seeded level-15
 // run at tolerance 1.0e-4.
 //
-// Usage: fig1_ebbflow [--level L] [--tol T] [--seed S]
+// Usage: fig1_ebbflow [--level L] [--tol T] [--seed S] [--report=PATH] [--trace=PATH]
+//
+// --report=PATH writes a JSON run report (run summary + ebb-&-flow series +
+// metrics snapshot); --trace=PATH writes the simulator's virtual-time
+// schedule as Chrome trace_event JSON (open in about:tracing / Perfetto) —
+// Figure 1 is the count of concurrently-open compute spans in that trace.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "cluster/cluster_sim.hpp"
 #include "cluster/cost_model.hpp"
+#include "cluster/sim_report.hpp"
+#include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "trace/ebb_flow.hpp"
 
 int main(int argc, char** argv) {
   int level = 15;
   double tol = 1e-4;
   std::uint64_t seed = 2004;
+  std::string report_path, trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--level") == 0 && i + 1 < argc) level = std::atoi(argv[++i]);
     if (std::strcmp(argv[i], "--tol") == 0 && i + 1 < argc) tol = std::atof(argv[++i]);
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
       seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    if (std::strncmp(argv[i], "--report=", 9) == 0) report_path = argv[i] + 9;
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
   }
 
   const mg::cluster::AthlonCostModel cost;
-  const mg::cluster::SimConfig config;
+  mg::cluster::SimConfig config;
+  mg::obs::SpanTracer sim_tracer;
+  if (!trace_path.empty()) {
+    sim_tracer.enable();  // explicit-time records; the sim supplies virtual times
+    config.tracer = &sim_tracer;
+  }
   const auto run = mg::cluster::simulate_run(2, level, tol, cost, config, seed);
 
   std::printf("=== Figure 1: ebb & flow, level %d, tol %g ===\n", level, tol);
@@ -44,5 +61,24 @@ int main(int argc, char** argv) {
     std::printf("%10.3f %3d\n", s.times[i], s.counts[i]);
   }
   std::printf("%10.3f %3d\n", s.end_time, s.counts.empty() ? 0 : s.counts.back());
+
+  if (!report_path.empty()) {
+    mg::obs::RunReport report("fig1_ebbflow");
+    report.config().begin_object();
+    report.config().kv("root", 2).kv("level", level).kv("tol", tol);
+    report.config().kv("seed", static_cast<std::uint64_t>(seed));
+    report.config().end_object();
+    report.derived().begin_object();
+    report.derived().key("run");
+    mg::cluster::append_run_json(report.derived(), run);
+    report.derived().end_object();
+    if (!report.write(report_path)) return 1;
+    std::printf("report written to %s\n", report_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    if (!mg::obs::write_text_file(trace_path, sim_tracer.chrome_trace_json())) return 1;
+    std::printf("chrome trace (%zu spans) written to %s\n", sim_tracer.size(),
+                trace_path.c_str());
+  }
   return 0;
 }

@@ -1,13 +1,53 @@
 // Micro-benchmarks of the coordination layer — the paper's third overhead
 // category: "the overhead of the coordination layer (i.e., the actual
 // implementation of the overhead of the concurrency)".
+//
+// Also enforces the observability overhead contract: a metrics counter is a
+// single relaxed atomic add, and a ScopedSpan against a disabled tracer
+// performs no heap allocation (checked here via the counting operator new).
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "core/master.hpp"
 #include "core/protocol.hpp"
 #include "core/worker.hpp"
 #include "manifold/builtins.hpp"
 #include "manifold/runtime.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+// Binary-wide allocation counter so the span bench can assert "no allocation
+// per span" rather than merely timing it.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+// GCC pairs these frees with its builtin operator new and warns; the whole
+// binary in fact uses the malloc-backed operator new above.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace {
 
@@ -98,6 +138,41 @@ void BM_PortDepositRead(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PortDepositRead);
+
+/// Cost of one metrics counter increment — the hot-path instrumentation
+/// primitive.  Must stay a single relaxed fetch_add (a few ns, no locks).
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::Counter& counter = obs::registry().counter("bench.micro_counter");
+  for (auto _ : state) {
+    counter.add(1);
+  }
+  benchmark::DoNotOptimize(counter.value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+/// A ScopedSpan against a disabled tracer must cost one atomic load and zero
+/// heap allocations.  The allocation contract is asserted, not just timed:
+/// the bench fails (SkipWithError) if any span in a 64k-span probe allocates.
+void BM_ObsDisabledSpan(benchmark::State& state) {
+  obs::SpanTracer tracer;  // never enabled
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 65536; ++i) {
+    obs::ScopedSpan span(&tracer, "probe", "bench", "micro");
+    benchmark::DoNotOptimize(span);
+  }
+  const std::uint64_t delta = g_allocations.load(std::memory_order_relaxed) - before;
+  if (delta != 0) {
+    state.SkipWithError("disabled ScopedSpan allocated on the heap");
+    return;
+  }
+  for (auto _ : state) {
+    obs::ScopedSpan span(&tracer, "probe", "bench", "micro");
+    benchmark::DoNotOptimize(span);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsDisabledSpan);
 
 }  // namespace
 

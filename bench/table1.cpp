@@ -3,7 +3,11 @@
 // on the simulated 32-node Athlon cluster with the Athlon-calibrated cost
 // model.  Paper values are printed alongside for comparison.
 //
-// Usage: table1 [--runs N] [--seed S] [--max-level L]
+// Usage: table1 [--runs N] [--seed S] [--max-level L] [--report=PATH]
+//
+// --report=PATH writes a machine-readable JSON run report (see
+// src/obs/report.hpp for the schema): the st/ct/m/su rows for both
+// tolerances plus a snapshot of the metrics registry.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -12,6 +16,8 @@
 #include "bench/paper_reference.hpp"
 #include "cluster/cluster_sim.hpp"
 #include "cluster/cost_model.hpp"
+#include "cluster/sim_report.hpp"
+#include "obs/report.hpp"
 
 namespace {
 
@@ -41,11 +47,13 @@ int main(int argc, char** argv) {
   int runs = 5;
   std::uint64_t seed = 2004;
   int max_level = 15;
+  std::string report_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) runs = std::atoi(argv[++i]);
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
       seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     if (std::strcmp(argv[i], "--max-level") == 0 && i + 1 < argc) max_level = std::atoi(argv[++i]);
+    if (std::strncmp(argv[i], "--report=", 9) == 0) report_path = argv[i] + 9;
   }
 
   const mg::cluster::AthlonCostModel cost;
@@ -64,6 +72,28 @@ int main(int argc, char** argv) {
 
   const auto rows4 = mg::cluster::simulate_table(2, max_level, 1e-4, cost, config);
   print_block("1.0e-4", rows4, mg::bench::kPaperTable1e4.data(), mg::bench::kPaperTable1e4.size());
+
+  if (!report_path.empty()) {
+    mg::obs::RunReport report("table1");
+    report.config().begin_object();
+    report.config().kv("root", 2).kv("max_level", max_level).kv("runs", runs);
+    report.config().kv("seed", static_cast<std::uint64_t>(seed));
+    report.config().kv("hosts", config.cluster.size());
+    report.config().end_object();
+    report.derived().begin_object();
+    report.derived().key("tables").begin_array();
+    for (const auto* block : {&rows3, &rows4}) {
+      report.derived().begin_object();
+      report.derived().kv("tol", block == &rows3 ? 1e-3 : 1e-4);
+      report.derived().key("rows");
+      mg::cluster::append_table_json(report.derived(), *block);
+      report.derived().end_object();
+    }
+    report.derived().end_array();
+    report.derived().end_object();
+    if (!report.write(report_path)) return 1;
+    std::printf("\nreport written to %s\n", report_path.c_str());
+  }
 
   return 0;
 }

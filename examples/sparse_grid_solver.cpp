@@ -5,20 +5,63 @@
 // (the §6 claim), and reports accuracy against the analytic solution.
 //
 // Usage mirrors the paper's command line (§3: root, level, le_tol):
-//   sparse_grid_solver [root] [level] [le_tol]
+//   sparse_grid_solver [root] [level] [le_tol] [--report=PATH]
+//
+// --report=PATH additionally writes a JSON run report: both solves' wall
+// times, the per-grid records, the bit-exactness diff, the accuracy numbers,
+// and a snapshot of the metrics registry (src/obs/report.hpp).
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "core/concurrent_solver.hpp"
+#include "obs/report.hpp"
 #include "transport/seq_solver.hpp"
+
+namespace {
+
+void append_solve_json(mg::obs::JsonWriter& w, const mg::transport::SolveResult& solve) {
+  w.begin_object();
+  w.kv("total_s", solve.total_seconds);
+  w.kv("subsolve_s", solve.subsolve_seconds);
+  w.kv("prolongation_s", solve.prolongation_seconds);
+  w.key("grids").begin_array();
+  for (const auto& r : solve.records) {
+    w.begin_object();
+    w.kv("grid", r.grid.name()).kv("coefficient", r.coefficient);
+    w.kv("steps_accepted", static_cast<std::uint64_t>(r.stats.accepted));
+    w.kv("steps_rejected", static_cast<std::uint64_t>(r.stats.rejected));
+    w.kv("stage_solves", static_cast<std::uint64_t>(r.stats.stage_solves));
+    w.kv("wall_s", r.elapsed_seconds);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mg;
 
   transport::ProgramConfig config;
-  config.root = argc > 1 ? std::atoi(argv[1]) : 2;    // argv[1]: root level
-  config.level = argc > 2 ? std::atoi(argv[2]) : 4;   // argv[2]: additional refinement
-  config.le_tol = argc > 3 ? std::atof(argv[3]) : 1e-4;  // argv[3]: integrator tolerance
+  std::string report_path;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--report=", 9) == 0) {
+      report_path = argv[i] + 9;
+    } else if (positional == 0) {
+      config.root = std::atoi(argv[i]);  // root level
+      ++positional;
+    } else if (positional == 1) {
+      config.level = std::atoi(argv[i]);  // additional refinement
+      ++positional;
+    } else if (positional == 2) {
+      config.le_tol = std::atof(argv[i]);  // integrator tolerance
+      ++positional;
+    }
+  }
 
   std::printf("sparse-grid transport solve: root=%d level=%d le_tol=%g\n", config.root,
               config.level, config.le_tol);
@@ -54,6 +97,32 @@ int main(int argc, char** argv) {
       seq.combined.l2_error([&](double x, double y) { return p.exact(x, y, t1); });
   std::printf("\ncombined solution vs analytic at t=%.2f: max error %.3e, L2 error %.3e\n", t1,
               max_err, l2_err);
+
+  if (!report_path.empty()) {
+    obs::RunReport report("sparse_grid_solver");
+    report.config().begin_object();
+    report.config().kv("root", config.root).kv("level", config.level);
+    report.config().kv("le_tol", config.le_tol);
+    report.config().end_object();
+    report.derived().begin_object();
+    report.derived().key("sequential");
+    append_solve_json(report.derived(), seq);
+    report.derived().key("concurrent");
+    append_solve_json(report.derived(), conc.solve);
+    report.derived().key("protocol").begin_object();
+    report.derived().kv("pools_created", static_cast<std::uint64_t>(conc.protocol.pools_created));
+    report.derived().kv("workers_created",
+                        static_cast<std::uint64_t>(conc.protocol.workers_created));
+    report.derived().kv("rendezvous_wait_s", conc.protocol.rendezvous_wait_seconds);
+    report.derived().end_object();
+    report.derived().kv("max_diff_concurrent_vs_sequential", diff);
+    report.derived().kv("bit_exact", diff == 0.0);
+    report.derived().kv("max_error_vs_analytic", max_err);
+    report.derived().kv("l2_error_vs_analytic", l2_err);
+    report.derived().end_object();
+    if (!report.write(report_path)) return 1;
+    std::printf("report written to %s\n", report_path.c_str());
+  }
 
   return diff == 0.0 ? 0 : 1;
 }

@@ -6,12 +6,27 @@
 
 #include "grid/combination.hpp"
 #include "manifold/task.hpp"
+#include "obs/metrics.hpp"
 #include "sim/timeline.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 #include "transport/subsolve.hpp"
 
 namespace mg::cluster {
+
+namespace {
+struct SimMetrics {
+  obs::Counter& runs = obs::registry().counter("cluster.sim_runs");
+  obs::Counter& workers = obs::registry().counter("cluster.sim_workers");
+  obs::Counter& tasks_spawned = obs::registry().counter("cluster.sim_tasks_spawned");
+  obs::Counter& network_bytes = obs::registry().counter("cluster.sim_network_bytes");
+};
+
+SimMetrics& sim_metrics() {
+  static SimMetrics m;
+  return m;
+}
+}  // namespace
 
 namespace {
 
@@ -86,6 +101,11 @@ SimRunResult simulate_run(int root, int level, double tol, const CostModel& cost
   result.sequential_seconds = st;
   result.workers.reserve(terms.size());
 
+  obs::SpanTracer* tracer = config.tracer;
+  auto span = [&](std::string name, std::string track, double start, double end) {
+    if (tracer != nullptr) tracer->record({std::move(name), "sim", std::move(track), start, end});
+  };
+
   // Family grouping: single pool by default; one pool per lm when requested.
   std::vector<std::pair<std::size_t, std::size_t>> groups;  // (first, count)
   if (config.pool_per_family && level >= 1) {
@@ -122,12 +142,15 @@ SimRunResult simulate_run(int root, int level, double tol, const CostModel& cost
       const double create_cost = w.new_task ? oh.create_new_task_s : oh.reuse_task_s;
       const sim::Interval spawn = spawner.reserve(w.requested, create_cost);
       w.ready = spawn.end + oh.event_latency_s;  // &worker reference at master
+      span(w.new_task ? "spawn:new" : "spawn:reuse", "spawner", spawn.start, spawn.end);
 
       // Master marshals the work data through its network link.
       const std::size_t payload = transport::subsolve_payload_bytes(g);
       const sim::Interval marshal = net.reserve(w.ready, config.network.transfer_seconds(payload));
       w.input_done = marshal.end + oh.event_latency_s;
       master_clock = marshal.end;  // master's loop proceeds to the next worker
+      result.network_bytes += payload;
+      span("marshal:" + g.name(), "network", marshal.start, marshal.end);
 
       // On-host setup happens in parallel with the marshalling.
       const double setup_done = w.ready + oh.worker_setup_s;
@@ -146,6 +169,9 @@ SimRunResult simulate_run(int root, int level, double tol, const CostModel& cost
       // to the master's send loop).
       w.result_done = comp.end + config.network.transfer_seconds(payload);
       w.death = w.result_done + oh.death_tail_s;
+      result.network_bytes += payload;  // the result returning over the KK stream
+      span("compute:" + g.name(), w.host, comp.start, comp.end);
+      span("result:" + g.name(), "network", comp.end, w.result_done);
 
       arrivals.push_back(w.result_done + oh.event_latency_s);
       deaths.push_back(w.death);
@@ -176,6 +202,25 @@ SimRunResult simulate_run(int root, int level, double tol, const CostModel& cost
   result.weighted_machines = result.ebb_flow.weighted_average();
   result.peak_machines = result.ebb_flow.peak();
   result.tasks_spawned = tasks.stats().tasks_created;
+
+  // Virtual busy/idle per workstation (busy = booked compute; the start-up
+  // machine additionally hosts the master for the whole run).
+  result.host_usage.reserve(config.cluster.hosts.size());
+  for (const auto& h : config.cluster.hosts) {
+    HostUsage usage;
+    usage.host = h.name;
+    const auto it = host_cpu.find(h.name);
+    usage.busy_seconds = it != host_cpu.end() ? it->second.busy_time() : 0.0;
+    usage.idle_seconds = std::max(0.0, master_clock - usage.busy_seconds);
+    result.host_usage.push_back(std::move(usage));
+  }
+  span("master", config.cluster.startup().name, 0.0, master_clock);
+
+  SimMetrics& metrics = sim_metrics();
+  metrics.runs.add();
+  metrics.workers.add(result.workers.size());
+  metrics.tasks_spawned.add(result.tasks_spawned);
+  metrics.network_bytes.add(result.network_bytes);
   return result;
 }
 

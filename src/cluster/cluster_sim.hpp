@@ -21,12 +21,14 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cluster/cost_model.hpp"
 #include "cluster/host.hpp"
 #include "cluster/network.hpp"
 #include "grid/grid2d.hpp"
+#include "obs/span.hpp"
 #include "trace/ebb_flow.hpp"
 
 namespace mg::cluster {
@@ -56,6 +58,10 @@ struct SimConfig {
   double background_slowdown = 2.0;
   int runs = 5;                   ///< the paper's five-run averaging
   std::uint64_t seed = 2004;
+  /// Optional span sink (not owned).  The simulator records its virtual-time
+  /// schedule — spawn/marshal/compute/result intervals — as spans, in the
+  /// same format the real threaded runtime emits against the wall clock.
+  obs::SpanTracer* tracer = nullptr;
 };
 
 /// Per-worker schedule detail of one simulated run.
@@ -74,6 +80,13 @@ struct WorkerTimeline {
   double death = 0;          ///< death_worker raised ("Bye")
 };
 
+/// Virtual busy/idle split of one simulated workstation over a run.
+struct HostUsage {
+  std::string host;
+  double busy_seconds = 0;  ///< compute booked on this host's CPU timeline
+  double idle_seconds = 0;  ///< concurrent_seconds - busy_seconds
+};
+
 struct SimRunResult {
   double sequential_seconds = 0;  ///< model st on the start-up machine
   double concurrent_seconds = 0;  ///< model ct of the distributed run
@@ -81,6 +94,8 @@ struct SimRunResult {
   double weighted_machines = 0;   ///< Table 1's m
   int peak_machines = 0;
   std::size_t tasks_spawned = 0;  ///< task instances forked over the run
+  std::size_t network_bytes = 0;  ///< payload bytes over the simulated network
+  std::vector<HostUsage> host_usage;  ///< per-host virtual busy/idle
   std::vector<WorkerTimeline> workers;
 };
 

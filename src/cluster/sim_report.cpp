@@ -1,0 +1,49 @@
+#include "cluster/sim_report.hpp"
+
+namespace mg::cluster {
+
+void append_run_json(obs::JsonWriter& w, const SimRunResult& run, bool include_ebb_flow) {
+  w.begin_object();
+  w.kv("st", run.sequential_seconds);
+  w.kv("ct", run.concurrent_seconds);
+  w.kv("m", run.weighted_machines);
+  w.kv("su", run.concurrent_seconds > 0 ? run.sequential_seconds / run.concurrent_seconds : 0.0);
+  w.kv("peak_machines", static_cast<std::int64_t>(run.peak_machines));
+  w.kv("tasks_spawned", static_cast<std::uint64_t>(run.tasks_spawned));
+  w.kv("workers", static_cast<std::uint64_t>(run.workers.size()));
+  w.kv("network_bytes", static_cast<std::uint64_t>(run.network_bytes));
+  w.key("hosts").begin_array();
+  for (const auto& h : run.host_usage) {
+    w.begin_object();
+    w.kv("host", h.host).kv("busy_s", h.busy_seconds).kv("idle_s", h.idle_seconds);
+    w.end_object();
+  }
+  w.end_array();
+  if (include_ebb_flow) {
+    w.key("ebb_flow").begin_object();
+    w.key("times").begin_array();
+    for (const double t : run.ebb_flow.times) w.value(t);
+    w.end_array();
+    w.key("counts").begin_array();
+    for (const int c : run.ebb_flow.counts) w.value(c);
+    w.end_array();
+    w.kv("end_time", run.ebb_flow.end_time);
+    w.end_object();
+  }
+  w.end_object();
+}
+
+void append_table_row_json(obs::JsonWriter& w, const TableRow& row) {
+  w.begin_object();
+  w.kv("level", row.level).kv("tol", row.tol);
+  w.kv("st", row.st).kv("ct", row.ct).kv("m", row.m).kv("su", row.su);
+  w.end_object();
+}
+
+void append_table_json(obs::JsonWriter& w, const std::vector<TableRow>& rows) {
+  w.begin_array();
+  for (const auto& row : rows) append_table_row_json(w, row);
+  w.end_array();
+}
+
+}  // namespace mg::cluster

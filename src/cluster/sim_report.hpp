@@ -1,0 +1,26 @@
+// JSON serialisation of simulation results for machine-readable run reports
+// (obs::RunReport "derived" sections).  One place defines the schema so the
+// bench binaries and the report tests cannot drift apart.
+#pragma once
+
+#include "cluster/cluster_sim.hpp"
+#include "obs/json_writer.hpp"
+
+namespace mg::cluster {
+
+/// One simulated run as a JSON object:
+///   {"st": ..., "ct": ..., "m": ..., "su": ..., "peak_machines": ...,
+///    "tasks_spawned": ..., "network_bytes": ...,
+///    "hosts": [{"host": ..., "busy_s": ..., "idle_s": ...}, ...],
+///    "ebb_flow": {"times": [...], "counts": [...], "end_time": ...}}
+/// su is derived as st/ct (0 when ct == 0); worker timelines are summarised,
+/// not dumped, to keep reports small.
+void append_run_json(obs::JsonWriter& w, const SimRunResult& run, bool include_ebb_flow = true);
+
+/// One Table-1 row: {"level": ..., "tol": ..., "st": ..., "ct": ..., "m": ..., "su": ...}.
+void append_table_row_json(obs::JsonWriter& w, const TableRow& row);
+
+/// An array of Table-1 rows.
+void append_table_json(obs::JsonWriter& w, const std::vector<TableRow>& rows);
+
+}  // namespace mg::cluster

@@ -3,9 +3,33 @@
 #include <optional>
 
 #include "manifold/state_scope.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "support/check.hpp"
+#include "support/stopwatch.hpp"
 
 namespace mg::mw {
+
+namespace {
+struct ProtocolMetrics {
+  obs::Counter& pools_created = obs::registry().counter("mw.pools_created");
+  obs::Counter& workers_created = obs::registry().counter("mw.workers_created");
+  /// Workers created per pool (distribution over pools).
+  obs::Histogram& pool_workers = obs::registry().histogram(
+      "mw.pool_worker_count", {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  /// Total time a pool's coordinator spent waiting at the rendezvous.
+  obs::Histogram& rendezvous_wait =
+      obs::registry().histogram("mw.rendezvous_wait_seconds");
+  /// Latency of counting one death_worker event at the rendezvous.
+  obs::Histogram& death_count_latency =
+      obs::registry().histogram("mw.death_worker_count_latency_seconds");
+};
+
+ProtocolMetrics& protocol_metrics() {
+  static ProtocolMetrics m;
+  return m;
+}
+}  // namespace
 
 using iwim::EventMatcher;
 using iwim::EventOccurrence;
@@ -14,8 +38,8 @@ using iwim::StateScope;
 using iwim::StreamType;
 using iwim::Unit;
 
-std::size_t create_worker_pool(iwim::ProcessContext& coordinator, iwim::Process& master,
-                               const WorkerFactory& factory, std::size_t& worker_counter) {
+PoolStats create_worker_pool(iwim::ProcessContext& coordinator, iwim::Process& master,
+                             const WorkerFactory& factory, std::size_t& worker_counter) {
   iwim::Runtime& runtime = coordinator.runtime();
 
   // Lines 18-19: `auto process now is variable(0). auto process t is
@@ -55,17 +79,26 @@ std::size_t create_worker_pool(iwim::ProcessContext& coordinator, iwim::Process&
       // Line 36 first `->`: the worker reference `&worker` flows to master.
       runtime.send(master.port("input"), Unit::of(ProcessRef{worker}));
       ++now;  // line 34: `now = now + 1`
+      protocol_metrics().workers_created.add();
     } else {
       // Lines 39-47: the rendezvous state — count death_worker events until
       // every created worker has died.
+      const obs::ScopedSpan span(&obs::tracer(), "rendezvous", "mw",
+                                 coordinator.self().kind().c_str());
+      support::Stopwatch rendezvous_clock;
       while (t < now) {
+        support::Stopwatch death_clock;
         coordinator.await({{ProtocolEvents::death_worker, std::nullopt}});
+        protocol_metrics().death_count_latency.observe(death_clock.elapsed_seconds());
         ++t;  // line 42
       }
+      const double waited = rendezvous_clock.elapsed_seconds();
+      protocol_metrics().rendezvous_wait.observe(waited);
+      protocol_metrics().pool_workers.observe(static_cast<double>(now));
       // Line 50: MES + raise(a_rendezvous); the manner returns.
       coordinator.trace("rendezvous acknowledged", "protocol.cpp", __LINE__);
       coordinator.raise(ProtocolEvents::a_rendezvous);
-      return static_cast<std::size_t>(now);
+      return {static_cast<std::size_t>(now), waited};
     }
   }
 }
@@ -89,9 +122,11 @@ ProtocolStats protocol_mw(iwim::ProcessContext& coordinator,
     if (occurrence.event == ProtocolEvents::create_pool) {
       // Line 61: the create_pool state calls Create_Worker_Pool, then posts
       // begin (the loop continues).
-      stats.workers_created +=
-          create_worker_pool(coordinator, *master, factory, worker_counter);
+      const PoolStats pool = create_worker_pool(coordinator, *master, factory, worker_counter);
+      stats.workers_created += pool.workers_created;
+      stats.rendezvous_wait_seconds += pool.rendezvous_wait_seconds;
       stats.pools_created += 1;
+      protocol_metrics().pools_created.add();
     } else {
       // Line 63 (`finished: halt.`) or the master terminated first.
       return stats;

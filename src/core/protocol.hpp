@@ -41,6 +41,16 @@ using WorkerFactory =
 struct ProtocolStats {
   std::size_t pools_created = 0;
   std::size_t workers_created = 0;
+  /// Total wall time the coordinator spent at rendezvous counting
+  /// death_worker events — pure coordination-layer overhead (§7's third
+  /// category).
+  double rendezvous_wait_seconds = 0.0;
+};
+
+/// What one Create_Worker_Pool invocation did.
+struct PoolStats {
+  std::size_t workers_created = 0;
+  double rendezvous_wait_seconds = 0.0;
 };
 
 /// The manner ProtocolMW (protocolMW.m lines 54-64).  Call from a
@@ -52,9 +62,9 @@ ProtocolStats protocol_mw(iwim::ProcessContext& coordinator,
 /// The manner Create_Worker_Pool (protocolMW.m lines 12-51).  Creates
 /// workers on demand, wires their streams, counts death_worker events at the
 /// rendezvous and raises a_rendezvous.  Returns the number of workers the
-/// pool created.
-std::size_t create_worker_pool(iwim::ProcessContext& coordinator, iwim::Process& master,
-                               const WorkerFactory& factory, std::size_t& worker_counter);
+/// pool created and the time spent waiting at the rendezvous.
+PoolStats create_worker_pool(iwim::ProcessContext& coordinator, iwim::Process& master,
+                             const WorkerFactory& factory, std::size_t& worker_counter);
 
 /// Builds and runs the whole §5 main program:
 ///

@@ -2,9 +2,38 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "support/check.hpp"
+#include "support/stopwatch.hpp"
 
 namespace mg::linalg {
+
+namespace {
+struct BicgstabMetrics {
+  obs::Counter& solves = obs::registry().counter("linalg.bicgstab_solves");
+  obs::Counter& iterations = obs::registry().counter("linalg.bicgstab_iterations");
+  obs::Counter& non_converged = obs::registry().counter("linalg.bicgstab_non_converged");
+  obs::Histogram& solve_seconds = obs::registry().histogram("linalg.bicgstab_solve_seconds");
+};
+
+BicgstabMetrics& bicgstab_metrics() {
+  static BicgstabMetrics m;
+  return m;
+}
+
+struct SolveScope {
+  explicit SolveScope(const SolveReport& report) : report_(report) {}
+  ~SolveScope() {
+    BicgstabMetrics& metrics = bicgstab_metrics();
+    metrics.solves.add();
+    metrics.iterations.add(report_.iterations);
+    if (!report_.converged) metrics.non_converged.add();
+    metrics.solve_seconds.observe(clock_.elapsed_seconds());
+  }
+  const SolveReport& report_;
+  support::Stopwatch clock_;
+};
+}  // namespace
 
 SolveReport bicgstab(const CsrMatrix& a, const Vec& b, Vec& x, const Preconditioner& m,
                      const SolveOptions& opts) {
@@ -14,6 +43,8 @@ SolveReport bicgstab(const CsrMatrix& a, const Vec& b, Vec& x, const Preconditio
   if (x.size() != n) x.assign(n, 0.0);
 
   SolveReport report;
+  // Records solves/iterations/timing on every return path.
+  const SolveScope metrics_scope(report);
   const double bnorm = norm2(b);
   const double target = std::max(opts.abs_tol, opts.rel_tol * bnorm);
 

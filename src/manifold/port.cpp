@@ -1,9 +1,22 @@
 #include "manifold/port.hpp"
 
 #include "manifold/event.hpp"
+#include "obs/metrics.hpp"
 #include "support/check.hpp"
 
 namespace mg::iwim {
+
+namespace {
+struct PortMetrics {
+  obs::Counter& units_sent = obs::registry().counter("iwim.units_sent");
+  obs::Gauge& queue_depth_hwm = obs::registry().gauge("iwim.port_queue_depth_hwm");
+};
+
+PortMetrics& port_metrics() {
+  static PortMetrics m;
+  return m;
+}
+}  // namespace
 
 const char* to_string(StreamType t) {
   switch (t) {
@@ -110,11 +123,15 @@ void Port::write(Unit unit) {
 
 void Port::deposit(Unit unit) {
   MG_REQUIRE(direction_ == Direction::In);
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     direct_.push_back(std::move(unit));
+    depth = direct_.size();
   }
   cv_.notify_all();
+  port_metrics().units_sent.add();
+  port_metrics().queue_depth_hwm.max_of(static_cast<double>(depth));
 }
 
 std::size_t Port::queued() const {
@@ -166,11 +183,15 @@ void Port::detach_outgoing(Stream* stream) {
 void Port::push_to_stream(Stream* stream, Unit unit) {
   Port* sink = stream->sink();
   MG_ASSERT(sink != nullptr);
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(sink->mutex_);
     stream->queue_.push_back(std::move(unit));
+    depth = stream->queue_.size();
   }
   sink->cv_.notify_all();
+  port_metrics().units_sent.add();
+  port_metrics().queue_depth_hwm.max_of(static_cast<double>(depth));
 }
 
 }  // namespace mg::iwim

@@ -1,6 +1,7 @@
 #include "manifold/process.hpp"
 
 #include "manifold/runtime.hpp"
+#include "obs/span.hpp"
 #include "support/check.hpp"
 #include "support/log.hpp"
 
@@ -71,6 +72,9 @@ void Process::activate() {
 }
 
 void Process::run() {
+  // One span per process lifetime (Welcome -> Bye), on a per-kind track so
+  // the trace viewer shows the Master/Worker ebb & flow directly.
+  obs::ScopedSpan span(&obs::tracer(), name_.c_str(), "iwim", kind_.c_str());
   runtime_.trace_message(*this, "process.cpp", __LINE__, "Welcome");
   try {
     ProcessContext context(runtime_, *this);

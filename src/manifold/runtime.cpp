@@ -2,9 +2,26 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "support/check.hpp"
 
 namespace mg::iwim {
+
+namespace {
+// Cached once; updates are single relaxed atomic ops on the hot paths.
+struct RuntimeMetrics {
+  obs::Counter& processes_created = obs::registry().counter("iwim.processes_created");
+  obs::Counter& processes_terminated = obs::registry().counter("iwim.processes_terminated");
+  obs::Counter& streams_connected = obs::registry().counter("iwim.streams_connected");
+  obs::Counter& events_raised = obs::registry().counter("iwim.events_raised");
+  obs::Counter& events_delivered = obs::registry().counter("iwim.events_delivered");
+};
+
+RuntimeMetrics& runtime_metrics() {
+  static RuntimeMetrics m;
+  return m;
+}
+}  // namespace
 
 Runtime::Runtime(RuntimeConfig config)
     : config_(std::move(config)), tasks_(config_.tasks, config_.hosts) {}
@@ -23,6 +40,7 @@ std::shared_ptr<AtomicProcess> Runtime::create_process(std::string kind, std::st
     MG_REQUIRE_MSG(!shutting_down_, "create_process during shutdown");
     processes_.push_back(process);
   }
+  runtime_metrics().processes_created.add();
   return process;
 }
 
@@ -38,6 +56,7 @@ Stream& Runtime::connect(Port& src, Port& dst, StreamType type) {
   // Register at the sink first so readers can see flushed units immediately.
   dst.attach_incoming(stream);
   src.attach_outgoing(stream);  // flushes the source port's pending writes
+  runtime_metrics().streams_connected.add();
   return *stream;
 }
 
@@ -51,6 +70,8 @@ void Runtime::broadcast_event(const Process& source, const std::string& event) {
     std::lock_guard<std::mutex> lock(mutex_);
     snapshot = processes_;
   }
+  runtime_metrics().events_raised.add();
+  runtime_metrics().events_delivered.add(snapshot.size());
   for (const auto& p : snapshot) {
     p->events().deposit({event, source.id(), source.name()});
   }
@@ -97,6 +118,7 @@ void Runtime::on_activate(Process& process) {
 }
 
 void Runtime::on_terminate(Process& process) {
+  runtime_metrics().processes_terminated.add();
   broadcast_event(process, kTerminatedEvent);
   const std::uint64_t task_id = process.task_id();
   if (task_id != 0) tasks_.release(task_id, process.kind(), now());

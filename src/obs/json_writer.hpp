@@ -1,0 +1,62 @@
+// A minimal streaming JSON writer — no DOM, no dependencies.  Reports and
+// traces are machine-readable artifacts, so output must be strict JSON:
+// strings are escaped, doubles are emitted deterministically (shortest
+// round-trip via %.17g with a trailing check), NaN/Inf degrade to null.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mg::obs {
+
+/// Escapes the characters JSON requires (quote, backslash, control chars).
+std::string json_escape(std::string_view s);
+
+/// Deterministic JSON literal for a double ("null" for NaN/Inf).
+std::string json_number(double v);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by exactly one value (or container).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Embeds a prebuilt JSON document as one value (caller guarantees syntax).
+  JsonWriter& raw(std::string_view json);
+
+  /// Shorthand for key(k).value(v).
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void before_value();
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  // one per open container
+  bool after_key_ = false;
+};
+
+/// Writes `content` to `path`; returns false (and logs) on I/O failure.
+bool write_text_file(const std::string& path, std::string_view content);
+
+}  // namespace mg::obs

@@ -1,0 +1,130 @@
+// Process-global metrics registry — the measurement layer the paper's whole
+// evaluation methodology presumes (§7 decomposes run time into multi-user
+// noise, concurrency overhead, and coordination-layer overhead, all of which
+// must be *measured*).
+//
+// Design constraints:
+//  * Hot-path writes are single relaxed atomic operations (a counter add, a
+//    gauge store, one histogram bucket add).  No locks, no allocation.
+//  * Instrumented code caches the metric reference once (function-local
+//    static); registration takes the registry mutex, updates never do.
+//  * snapshot() reads concurrently with writers — values are atomics, so a
+//    snapshot is a consistent-enough point-in-time read without stopping
+//    anybody (per-metric atomicity, not cross-metric).
+//  * reset() zeroes values but never deregisters: cached references stay
+//    valid for the life of the process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mg::obs {
+
+/// Monotonic event count.  add() is one relaxed fetch_add.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar with an accumulate and a high-water-mark update.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) { value_.fetch_add(d, std::memory_order_relaxed); }
+
+  /// Raises the gauge to v if v is larger (high-water mark; CAS loop).
+  void max_of(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur && !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket upper bounds are set at registration, an
+/// implicit +inf bucket catches the rest.  observe() is a binary search plus
+/// three relaxed atomic adds (bucket, count, sum).
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly ascending; may be empty (count/sum only).
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Per-bucket counts: bucket i holds values v with bounds_[i-1] < v <=
+  /// bounds_[i]; the final entry is the +inf bucket.  Sums to count().
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1 (+inf)
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default latency buckets: 1 us .. ~100 s, roughly x4 per bucket.
+std::vector<double> default_latency_buckets();
+
+struct HistogramSnapshot {
+  std::vector<double> upper_bounds;       ///< finite bounds; +inf implicit
+  std::vector<std::uint64_t> buckets;     ///< per-bucket counts, size bounds+1
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time view of every registered metric (see Registry::snapshot).
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  std::uint64_t counter_or(const std::string& name, std::uint64_t fallback = 0) const;
+  double gauge_or(const std::string& name, double fallback = 0.0) const;
+};
+
+/// Name -> metric map.  Registration locks; metric updates never do.
+class Registry {
+ public:
+  /// Returns the named metric, creating it on first use.  The reference is
+  /// valid for the life of the registry (metrics are never deregistered).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> upper_bounds = {});
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric's value; registrations (and cached references)
+  /// survive.  For test/bench isolation.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-global registry all built-in instrumentation writes to.
+Registry& registry();
+
+}  // namespace mg::obs

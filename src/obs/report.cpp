@@ -1,0 +1,57 @@
+#include "obs/report.hpp"
+
+namespace mg::obs {
+
+void metrics_to_json(JsonWriter& w, const MetricsSnapshot& snapshot) {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : snapshot.counters) w.kv(name, v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : snapshot.gauges) w.kv(name, v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : snapshot.histograms) {
+    w.key(name).begin_object();
+    w.key("bounds").begin_array();
+    for (const double b : h.upper_bounds) w.value(b);
+    w.end_array();
+    w.key("buckets").begin_array();
+    for (const std::uint64_t c : h.buckets) w.value(c);
+    w.end_array();
+    w.kv("count", h.count).kv("sum", h.sum);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+RunReport::RunReport(std::string tool) : tool_(std::move(tool)) {}
+
+std::string RunReport::json(const MetricsSnapshot& snapshot) const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("tool", tool_).kv("schema_version", std::int64_t{1});
+  w.key("config");
+  if (config_.str().empty()) {
+    w.begin_object().end_object();
+  } else {
+    w.raw(config_.str());
+  }
+  w.key("derived");
+  if (derived_.str().empty()) {
+    w.begin_object().end_object();
+  } else {
+    w.raw(derived_.str());
+  }
+  w.key("metrics");
+  metrics_to_json(w, snapshot);
+  w.end_object();
+  return w.str();
+}
+
+bool RunReport::write(const std::string& path) const {
+  return write_text_file(path, json(registry().snapshot()) + "\n");
+}
+
+}  // namespace mg::obs

@@ -1,0 +1,55 @@
+// Machine-readable run reports.  Every bench/example accepts --report=<path>
+// and dumps one JSON document: which tool ran, its configuration, the
+// derived paper quantities (st/ct/m/su, run summaries, ...), and a full
+// snapshot of the metrics registry — so every performance claim in the repo
+// is a reproducible artifact, not a number in a terminal scrollback.
+//
+// Schema (stable; tests golden-check pieces of it):
+//   {
+//     "tool": "<name>",
+//     "schema_version": 1,
+//     "config": { ... },            // tool-specific echo of its parameters
+//     "derived": { ... },           // tool-specific derived quantities
+//     "metrics": {
+//       "counters":  { "<name>": <uint>, ... },
+//       "gauges":    { "<name>": <double>, ... },
+//       "histograms": { "<name>": {"bounds": [...], "buckets": [...],
+//                                   "count": <uint>, "sum": <double>}, ... }
+//     }
+//   }
+#pragma once
+
+#include <string>
+
+#include "obs/json_writer.hpp"
+#include "obs/metrics.hpp"
+
+namespace mg::obs {
+
+/// Serialises a metrics snapshot as the report's "metrics" value (an object;
+/// append with writer.key("metrics") first, or use RunReport below).
+void metrics_to_json(JsonWriter& writer, const MetricsSnapshot& snapshot);
+
+/// Assembles the standard report envelope around tool-specific sub-documents
+/// built with JsonWriter.
+class RunReport {
+ public:
+  explicit RunReport(std::string tool);
+
+  /// Writers for the tool-specific sections; fill with one JSON object each.
+  JsonWriter& config() { return config_; }
+  JsonWriter& derived() { return derived_; }
+
+  /// The complete report document, with `metrics` captured at call time.
+  std::string json(const MetricsSnapshot& snapshot) const;
+
+  /// json() with the process-global registry, written to `path`.
+  bool write(const std::string& path) const;
+
+ private:
+  std::string tool_;
+  JsonWriter config_;
+  JsonWriter derived_;
+};
+
+}  // namespace mg::obs

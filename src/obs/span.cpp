@@ -1,0 +1,102 @@
+#include "obs/span.hpp"
+
+#include <chrono>
+#include <map>
+
+#include "obs/json_writer.hpp"
+
+namespace mg::obs {
+
+namespace {
+double uptime_clock(void*) {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point t0 = clock::now();
+  return std::chrono::duration<double>(clock::now() - t0).count();
+}
+}  // namespace
+
+void enable_wall_clock(SpanTracer& t) { t.enable(&uptime_clock, nullptr); }
+
+void SpanTracer::enable(ClockFn clock, void* clock_state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  clock_ = clock;
+  clock_state_ = clock_state;
+  enabled_.store(true, std::memory_order_release);
+}
+
+void SpanTracer::disable() {
+  // The clock pointers are deliberately left in place: a span site that
+  // observed enabled just before the flag flipped may still consult the
+  // clock.  The clock state must therefore outlive the last span site, not
+  // merely the enabled window.
+  enabled_.store(false, std::memory_order_release);
+}
+
+double SpanTracer::clock_now() const {
+  // clock_ is written before enabled_ flips (release) and span sites read
+  // enabled_ with acquire before calling here, so the plain read is ordered.
+  return clock_ != nullptr ? clock_(clock_state_) : 0.0;
+}
+
+void SpanTracer::record(SpanRecord span) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<SpanRecord> SpanTracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::size_t SpanTracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+void SpanTracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+}
+
+std::string SpanTracer::chrome_trace_json() const {
+  const std::vector<SpanRecord> spans = snapshot();
+
+  // One Chrome "thread" per distinct track, in first-appearance order.
+  std::map<std::string, int> tids;
+  std::vector<const std::string*> track_order;
+  for (const auto& s : spans) {
+    if (tids.emplace(s.track, static_cast<int>(tids.size()) + 1).second) {
+      track_order.push_back(&s.track);
+    }
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (std::size_t i = 0; i < track_order.size(); ++i) {
+    w.begin_object();
+    w.kv("name", "thread_name").kv("ph", "M").kv("pid", 1);
+    w.kv("tid", static_cast<std::int64_t>(i + 1));
+    w.key("args").begin_object().kv("name", *track_order[i]).end_object();
+    w.end_object();
+  }
+  for (const auto& s : spans) {
+    w.begin_object();
+    w.kv("name", s.name).kv("cat", s.category).kv("ph", "X");
+    w.kv("ts", s.start * 1e6).kv("dur", s.duration() * 1e6);
+    w.kv("pid", 1).kv("tid", static_cast<std::int64_t>(tids.at(s.track)));
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  return w.str();
+}
+
+SpanTracer& tracer() {
+  static SpanTracer instance;
+  return instance;
+}
+
+}  // namespace mg::obs

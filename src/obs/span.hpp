@@ -1,0 +1,100 @@
+// Span tracing — begin/end intervals against a pluggable clock, so the real
+// threaded runtime (wall clock) and the virtual-time ClusterSim share one
+// format.  Spans export as Chrome trace_event JSON (load in about:tracing /
+// Perfetto) and feed the flat metrics report.
+//
+// The paper's Figure 1 ("ebb & flow") is a projection of exactly this data:
+// the number of concurrently-open compute spans over time.
+//
+// Overhead contract: a *disabled* tracer costs one relaxed atomic load per
+// span site and performs no allocation — ScopedSpan only captures pointers
+// and only materialises strings in record() when the tracer is enabled.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mg::obs {
+
+struct SpanRecord {
+  std::string name;      ///< what happened ("compute", "rendezvous", ...)
+  std::string category;  ///< subsystem ("iwim", "mw", "sim", "linalg", ...)
+  std::string track;     ///< lane in the trace viewer: a thread, host, or resource
+  double start = 0.0;    ///< seconds on the tracer's clock
+  double end = 0.0;
+  double duration() const { return end - start; }
+};
+
+class SpanTracer {
+ public:
+  using ClockFn = double (*)(void* state);
+
+  /// Enables recording.  The clock is consulted by ScopedSpan; pass the wall
+  /// clock of a Runtime, the virtual clock of a simulation, or nothing for
+  /// spans recorded with explicit times only.
+  void enable(ClockFn clock = nullptr, void* clock_state = nullptr);
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  /// Current time on the plugged clock (0 when no clock was supplied).
+  double clock_now() const;
+
+  /// Records a finished span with explicit times (the virtual-clock path).
+  /// Dropped silently when disabled.
+  void record(SpanRecord span);
+
+  std::vector<SpanRecord> snapshot() const;
+  std::size_t size() const;
+  void clear();
+
+  /// Serialises all spans as Chrome trace_event JSON ("X" complete events,
+  /// microsecond timestamps, one tid per distinct track).
+  std::string chrome_trace_json() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  ClockFn clock_ = nullptr;
+  void* clock_state_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// The process-global tracer the built-in wall-clock instrumentation uses.
+/// Disabled by default: all span sites are no-ops until someone enables it.
+SpanTracer& tracer();
+
+/// Enables `t` against a process-steady wall clock (seconds since the
+/// clock's first use in this process).
+void enable_wall_clock(SpanTracer& t);
+
+/// RAII span against a tracer's clock.  When the tracer is null or disabled
+/// at construction, both constructor and destructor are no-ops (and nothing
+/// is allocated).  The name/category/track pointers must outlive the scope.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanTracer* tracer, const char* name, const char* category, const char* track)
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+        name_(name), category_(category), track_(track),
+        start_(tracer_ != nullptr ? tracer_->clock_now() : 0.0) {}
+
+  ~ScopedSpan() {
+    if (tracer_ == nullptr) return;
+    tracer_->record({name_, category_, track_, start_, tracer_->clock_now()});
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanTracer* tracer_;
+  const char* name_;
+  const char* category_;
+  const char* track_;
+  double start_;
+};
+
+}  // namespace mg::obs

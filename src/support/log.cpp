@@ -1,13 +1,37 @@
 #include "support/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
+#include <string>
 
 namespace mg::support {
 
+LogLevel parse_log_level(const std::string& value, LogLevel fallback) {
+  std::string v(value);
+  for (char& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (v == "trace" || v == "0") return LogLevel::Trace;
+  if (v == "debug" || v == "1") return LogLevel::Debug;
+  if (v == "info" || v == "2") return LogLevel::Info;
+  if (v == "warn" || v == "warning" || v == "3") return LogLevel::Warn;
+  if (v == "error" || v == "4") return LogLevel::Error;
+  if (v == "off" || v == "none" || v == "5") return LogLevel::Off;
+  return fallback;
+}
+
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+/// Initial threshold: MG_LOG_LEVEL when set and parseable; Warn otherwise,
+/// so tests and benches stay quiet by default.
+LogLevel initial_level() {
+  const char* env = std::getenv("MG_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return LogLevel::Warn;
+  return parse_log_level(env, LogLevel::Warn);
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
 std::mutex g_io_mutex;
 
 const char* level_name(LogLevel l) {

@@ -12,6 +12,11 @@ namespace mg::support {
 
 enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
 
+/// Parses a level name (trace/debug/info/warn/error/off, any case) or a
+/// digit 0-5; `fallback` for anything else.  The MG_LOG_LEVEL environment
+/// variable goes through this to pick the initial threshold.
+LogLevel parse_log_level(const std::string& value, LogLevel fallback);
+
 /// Sets the process-global threshold; messages below it are discarded.
 void set_log_level(LogLevel level);
 LogLevel log_level();

@@ -33,10 +33,23 @@ void TraceLog::clear() {
 }
 
 std::string TraceLog::render() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::ostringstream os;
-  for (const auto& m : messages_) os << m.format() << '\n';
-  return os.str();
+  // Formatting is the slow part; do it on a snapshot so recording processes
+  // only contend with the copy, not with string building.
+  const std::vector<TraceMessage> copy = snapshot();
+  std::vector<std::string> lines;
+  lines.reserve(copy.size());
+  std::size_t total = 0;
+  for (const auto& m : copy) {
+    lines.push_back(m.format());
+    total += lines.back().size() + 1;
+  }
+  std::string out;
+  out.reserve(total);
+  for (const auto& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
 }
 
 }  // namespace mg::trace

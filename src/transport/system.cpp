@@ -3,10 +3,25 @@
 #include <stdexcept>
 
 #include "linalg/precond.hpp"
+#include "obs/metrics.hpp"
 #include "support/check.hpp"
+#include "support/stopwatch.hpp"
 #include "transport/koren.hpp"
 
 namespace mg::transport {
+
+namespace {
+struct StageMetrics {
+  obs::Counter& preparations = obs::registry().counter("linalg.stage_preparations");
+  obs::Histogram& assemble_seconds = obs::registry().histogram("linalg.stage_assemble_seconds");
+  obs::Histogram& factor_seconds = obs::registry().histogram("linalg.stage_factor_seconds");
+};
+
+StageMetrics& stage_metrics() {
+  static StageMetrics m;
+  return m;
+}
+}  // namespace
 
 const char* to_string(StageSolverKind k) {
   switch (k) {
@@ -105,7 +120,9 @@ namespace {
 class BandedStageSolver final : public ros::StageSolver {
  public:
   explicit BandedStageSolver(linalg::BandedMatrix matrix) : matrix_(std::move(matrix)) {
+    support::Stopwatch clock;
     matrix_.factorize();
+    stage_metrics().factor_seconds.observe(clock.elapsed_seconds());
   }
   void solve(const ros::Vec& rhs, ros::Vec& x) override { matrix_.solve(rhs, x); }
 
@@ -140,8 +157,11 @@ class KrylovStageSolver final : public ros::StageSolver {
 std::unique_ptr<ros::StageSolver> TransportSystem::prepare_stage(double /*t*/, const ros::Vec& u,
                                                                  double gamma_h) {
   MG_REQUIRE(u.size() == dimension());
+  stage_metrics().preparations.add();
   // Stage matrix (I - gamma_h * J); rebuilt per step as in the original code.
+  support::Stopwatch assemble_clock;
   linalg::CsrMatrix stage = linalg::shifted_identity(jacobian_, 1.0, -gamma_h);
+  stage_metrics().assemble_seconds.observe(assemble_clock.elapsed_seconds());
   switch (options_.solver) {
     case StageSolverKind::BandedLU:
       return std::make_unique<BandedStageSolver>(
