@@ -156,6 +156,34 @@ void ablation_background_jobs(const cluster::AthlonCostModel& cost, ReportSink& 
   sink.end_section();
 }
 
+void ablation_fault_tolerance(const cluster::AthlonCostModel& cost, ReportSink& sink) {
+  sink.begin_section("fault_tolerance");
+  std::printf("\n--- D3. host crashes + retry (simulated, level 15, tol 1e-3) ---\n");
+  for (double p : {0.0, 0.05, 0.15, 0.30}) {
+    cluster::SimConfig config;
+    config.faults.host_crash = p;
+    config.faults.net_drop = p / 3;
+    const auto run = cluster::simulate_run(2, 15, 1e-3, cost, config, config.faults.seed);
+    const double su = run.concurrent_seconds > 0 ? run.sequential_seconds / run.concurrent_seconds
+                                                 : 0.0;
+    std::printf(
+        "  P(host crash) = %.2f   ct = %7.2f s, su = %4.1f   "
+        "(%zu crashes, %zu drops, %zu retries, %zu abandoned)\n",
+        p, run.concurrent_seconds, su, run.faults.host_crashes_injected,
+        run.faults.net_drops_injected, run.faults.retries, run.faults.abandoned);
+    if (auto* w = sink.entries()) {
+      w->begin_object();
+      w->kv("probability", p).kv("ct", run.concurrent_seconds).kv("su", su);
+      w->kv("host_crashes", static_cast<std::uint64_t>(run.faults.host_crashes_injected));
+      w->kv("net_drops", static_cast<std::uint64_t>(run.faults.net_drops_injected));
+      w->kv("retries", static_cast<std::uint64_t>(run.faults.retries));
+      w->kv("abandoned", static_cast<std::uint64_t>(run.faults.abandoned));
+      w->end_object();
+    }
+  }
+  sink.end_section();
+}
+
 void ablation_data_path(ReportSink& sink) {
   sink.begin_section("data_path");
   std::printf("\n--- E. data path (real threaded runtime, root 2, level 4, tol 1e-3) ---\n");
@@ -287,6 +315,7 @@ int main(int argc, char** argv) {
   ablation_cluster_mix(cost, sink);
   ablation_network(cost, sink);
   ablation_background_jobs(cost, sink);
+  ablation_fault_tolerance(cost, sink);
   ablation_data_path(sink);
   ablation_parallel_bundling(sink);
   ablation_stage_solver(sink);

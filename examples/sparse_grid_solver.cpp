@@ -5,17 +5,25 @@
 // (the §6 claim), and reports accuracy against the analytic solution.
 //
 // Usage mirrors the paper's command line (§3: root, level, le_tol):
-//   sparse_grid_solver [root] [level] [le_tol] [--report=PATH]
+//   sparse_grid_solver [root] [level] [le_tol] [--report=PATH] [--faults=SPEC]
 //
 // --report=PATH additionally writes a JSON run report: both solves' wall
 // times, the per-grid records, the bit-exactness diff, the accuracy numbers,
 // and a snapshot of the metrics registry (src/obs/report.hpp).
+//
+// --faults=SPEC (e.g. --faults=seed=7,crash=0.3,hang=0.1,corrupt=0.05) runs
+// the concurrent solve under seeded fault injection with the fault-tolerant
+// protocol engaged: crashed/hung workers are respawned and their grids
+// re-dispatched, and the report gains a "faults" section recording every
+// injection, retry, respawn and abandonment.  The solve must still be
+// bit-identical to the sequential program.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "core/concurrent_solver.hpp"
+#include "fault/fault_plan.hpp"
 #include "obs/report.hpp"
 #include "transport/seq_solver.hpp"
 
@@ -47,10 +55,13 @@ int main(int argc, char** argv) {
 
   transport::ProgramConfig config;
   std::string report_path;
+  std::string fault_spec;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--report=", 9) == 0) {
       report_path = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+      fault_spec = argv[i] + 9;
     } else if (positional == 0) {
       config.root = std::atoi(argv[i]);  // root level
       ++positional;
@@ -78,11 +89,28 @@ int main(int argc, char** argv) {
                 r.stats.accepted, r.stats.stage_solves, r.elapsed_seconds);
   }
 
-  // --- the concurrent version (§5) ---
-  const mw::ConcurrentResult conc = mw::solve_concurrent(config);
+  // --- the concurrent version (§5), optionally under fault injection ---
+  mw::ConcurrentOptions options;
+  if (!fault_spec.empty()) {
+    options.faults = fault::parse_fault_spec(fault_spec);
+    options.retry = fault::RetryPolicy{};
+    options.retry->task_deadline = std::chrono::milliseconds(2000);
+    std::printf("\nfault injection on: seed=%llu crash=%.2f hang=%.2f corrupt=%.2f\n",
+                static_cast<unsigned long long>(options.faults.seed), options.faults.crash,
+                options.faults.hang, options.faults.corrupt);
+  }
+  const mw::ConcurrentResult conc = mw::solve_concurrent(config, options);
   std::printf("\nconcurrent: %zu workers in %zu pool(s), %.3f s wall\n",
               conc.protocol.workers_created, conc.protocol.pools_created,
               conc.solve.total_seconds);
+  if (conc.protocol.faults.any()) {
+    const auto& f = conc.protocol.faults;
+    std::printf("faults: %zu crash / %zu hang / %zu corrupt injected; "
+                "%zu crash events, %zu timeouts, %zu retries, %zu respawns, %zu abandoned%s\n",
+                f.crashes_injected, f.hangs_injected, f.corruptions_injected, f.crash_events,
+                f.timeouts, f.retries, f.respawns, f.abandoned,
+                f.degraded ? " (pool degraded)" : "");
+  }
 
   const double diff = conc.solve.combined.max_diff(seq.combined);
   std::printf("max |concurrent - sequential| = %g  (%s)\n", diff,
@@ -115,6 +143,9 @@ int main(int argc, char** argv) {
                         static_cast<std::uint64_t>(conc.protocol.workers_created));
     report.derived().kv("rendezvous_wait_s", conc.protocol.rendezvous_wait_seconds);
     report.derived().end_object();
+    if (conc.protocol.faults.any()) {
+      fault::fault_counters_to_json(report.faults(), conc.protocol.faults);
+    }
     report.derived().kv("max_diff_concurrent_vs_sequential", diff);
     report.derived().kv("bit_exact", diff == 0.0);
     report.derived().kv("max_error_vs_analytic", max_err);

@@ -105,6 +105,22 @@ SimRunResult simulate_run(int root, int level, double tol, const CostModel& cost
   auto span = [&](std::string name, std::string track, double start, double end) {
     if (tracer != nullptr) tracer->record({std::move(name), "sim", std::move(track), start, end});
   };
+  auto fault_span = [&](std::string name, std::string track, double start, double end) {
+    if (tracer != nullptr) tracer->record({std::move(name), "fault", std::move(track), start, end});
+  };
+
+  // Fault injection: decisions come from their own hashed stream (never the
+  // timing-noise RNG), so an all-zero fault config cannot perturb the
+  // schedule.  Incarnation/transfer ordinals advance deterministically with
+  // the dispatch order.
+  const bool injecting = config.faults.any();
+  const fault::FaultPlan plan(config.faults);
+  const fault::RetryPolicy& retry = config.retry;
+  const double policy_deadline_s =
+      std::chrono::duration<double>(retry.task_deadline).count();
+  std::uint64_t incarnation = 0;
+  std::uint64_t transfer_ordinal = 0;
+  std::size_t respawns_used = 0;
 
   // Family grouping: single pool by default; one pool per lm when requested.
   std::vector<std::pair<std::size_t, std::size_t>> groups;  // (first, count)
@@ -121,14 +137,24 @@ SimRunResult simulate_run(int root, int level, double tol, const CostModel& cost
     std::vector<double> deaths;
     arrivals.reserve(count);
     deaths.reserve(count);
+    double fallback_s = 0;  // degraded slots recomputed on the start-up machine
 
-    for (std::size_t k = first; k < first + count; ++k) {
+    // One dispatch = one worker incarnation: spawn, marshal (with drop /
+    // slowdown injection), compute (with host-crash injection).  Returns the
+    // arrival time of the result, or — on a crash — the time the master's
+    // per-task deadline detects the silent loss.
+    struct DispatchOutcome {
+      bool success = false;
+      double marshal_end = 0;
+      double arrival = 0;  ///< result at master (success only)
+      double detect = 0;   ///< loss detected at the deadline (failure only)
+    };
+    auto dispatch = [&](std::size_t k, WorkerTimeline& w, double gate) -> DispatchOutcome {
+      DispatchOutcome out;
       const grid::Grid2D& g = terms[k].grid;
-      WorkerTimeline w;
-      w.index = k;
-      w.grid = g;
+      const std::uint64_t inc = incarnation++;
 
-      w.requested = master_clock + oh.event_latency_s;  // raise create_worker
+      w.requested = gate + oh.event_latency_s;  // raise create_worker / respawn
       apply_releases(w.requested);
       const std::size_t created_before = tasks.stats().tasks_created;
       w.task_id = tasks.place("Worker", w.requested);
@@ -144,18 +170,57 @@ SimRunResult simulate_run(int root, int level, double tol, const CostModel& cost
       w.ready = spawn.end + oh.event_latency_s;  // &worker reference at master
       span(w.new_task ? "spawn:new" : "spawn:reuse", "spawner", spawn.start, spawn.end);
 
-      // Master marshals the work data through its network link.
+      // Master marshals the work data through its network link.  A dropped
+      // transfer costs its full duration plus an ack-timeout hop before the
+      // retransmission; a slowed transfer stretches by net_slow_factor.
       const std::size_t payload = transport::subsolve_payload_bytes(g);
-      const sim::Interval marshal = net.reserve(w.ready, config.network.transfer_seconds(payload));
-      w.input_done = marshal.end + oh.event_latency_s;
-      master_clock = marshal.end;  // master's loop proceeds to the next worker
-      result.network_bytes += payload;
-      span("marshal:" + g.name(), "network", marshal.start, marshal.end);
+      const double xfer = config.network.transfer_seconds(payload);
+      double send_at = w.ready;
+      int resends = 0;
+      for (;;) {
+        const std::uint64_t t = transfer_ordinal++;
+        const double slow = injecting ? plan.transfer_slowdown(t) : 1.0;
+        if (slow > 1.0) result.faults.net_slowdowns_injected += 1;
+        const sim::Interval marshal = net.reserve(send_at, xfer * slow);
+        result.network_bytes += payload;
+        span("marshal:" + g.name(), "network", marshal.start, marshal.end);
+        if (injecting && resends < 16 && plan.drops_transfer(t)) {
+          result.faults.net_drops_injected += 1;
+          ++resends;
+          fault_span("net_drop:" + g.name(), "network", marshal.start, marshal.end);
+          send_at = marshal.end + oh.event_latency_s;
+          continue;
+        }
+        w.input_done = marshal.end + oh.event_latency_s;
+        out.marshal_end = marshal.end;
+        break;
+      }
 
       // On-host setup happens in parallel with the marshalling.
       const double setup_done = w.ready + oh.worker_setup_s;
-      const double compute_cost =
-          cost.subsolve_seconds(g, tol, host_mhz) * noise();
+      const double compute_cost = cost.subsolve_seconds(g, tol, host_mhz) * noise();
+      if (injecting && plan.host_crashes(inc)) {
+        // The host dies partway through the compute.  The loss is silent —
+        // no death_worker will ever arrive — so the master only learns of it
+        // when the per-task deadline (cost-model floor, so slow-but-alive
+        // hosts are never killed) expires.
+        const double frac = plan.host_crash_fraction(inc);
+        const sim::Interval part =
+            host_cpu[w.host].reserve(std::max(w.input_done, setup_done), compute_cost * frac);
+        w.compute_start = part.start;
+        w.compute_end = part.end;
+        w.result_done = 0;
+        w.death = part.end;
+        result.faults.host_crashes_injected += 1;
+        fault_span("host_crash:" + g.name(), w.host, part.start, part.end);
+        const double expected = cost.subsolve_seconds(g, tol, host_mhz);
+        const double deadline_s =
+            std::max(policy_deadline_s, retry.deadline_cost_factor * expected);
+        out.detect = w.input_done + deadline_s;
+        result.faults.timeouts += 1;
+        releases.push({out.detect, w.task_id});
+        return out;
+      }
       const sim::Interval comp =
           host_cpu[w.host].reserve(std::max(w.input_done, setup_done), compute_cost);
       w.compute_start = comp.start;
@@ -173,16 +238,82 @@ SimRunResult simulate_run(int root, int level, double tol, const CostModel& cost
       span("compute:" + g.name(), w.host, comp.start, comp.end);
       span("result:" + g.name(), "network", comp.end, w.result_done);
 
-      arrivals.push_back(w.result_done + oh.event_latency_s);
-      deaths.push_back(w.death);
       releases.push({w.death, w.task_id});
+      out.success = true;
+      out.arrival = w.result_done + oh.event_latency_s;
+      return out;
+    };
+
+    // Failed attempt `attempt` of slot widx: retry under the shared policy,
+    // or degrade — the master receives the abandonment at detection time and
+    // recomputes the grid itself on the start-up machine.
+    struct PendingRetry {
+      std::size_t k = 0;
+      std::size_t widx = 0;
+      std::size_t attempt = 0;  ///< the attempt about to run
+      double earliest = 0;
+    };
+    std::vector<PendingRetry> retry_queue;
+    auto handle_failure = [&](std::size_t k, std::size_t widx, std::size_t attempt,
+                              double detect) {
+      if (attempt < retry.max_attempts && respawns_used < retry.respawn_budget) {
+        respawns_used += 1;
+        result.faults.retries += 1;
+        result.faults.respawns += 1;
+        const double backoff = retry.backoff_seconds_for(attempt);
+        fault_span("backoff:" + terms[k].grid.name(), "spawner", detect, detect + backoff);
+        retry_queue.push_back({k, widx, attempt + 1, detect + backoff});
+      } else {
+        result.faults.abandoned += 1;
+        result.faults.degraded = true;
+        arrivals.push_back(detect + oh.event_latency_s);  // the WorkAbandoned unit
+        deaths.push_back(detect);
+        fallback_s += cost.subsolve_seconds(terms[k].grid, tol, startup_mhz) * noise();
+      }
+    };
+
+    for (std::size_t k = first; k < first + count; ++k) {
+      WorkerTimeline w;
+      w.index = k;
+      w.grid = terms[k].grid;
+      const std::size_t widx = result.workers.size();
       result.workers.push_back(w);
+
+      const DispatchOutcome out = dispatch(k, result.workers[widx], master_clock);
+      master_clock = out.marshal_end;  // master's loop proceeds to the next worker
+      if (out.success) {
+        arrivals.push_back(out.arrival);
+        deaths.push_back(result.workers[widx].death);
+      } else {
+        handle_failure(k, widx, 1, out.detect);
+      }
     }
 
-    // Master collects the results in arrival order (step 3(f)).
+    // Retry rounds: respawned incarnations run while the master sits in its
+    // collect loop, so they gate only the rendezvous, not further sends.
+    // The queue grows as retried attempts fail again; index iteration keeps
+    // the order (and therefore the ordinals) deterministic.
+    for (std::size_t i = 0; i < retry_queue.size(); ++i) {
+      const PendingRetry p = retry_queue[i];
+      const DispatchOutcome out = dispatch(p.k, result.workers[p.widx], p.earliest);
+      if (out.success) {
+        arrivals.push_back(out.arrival);
+        deaths.push_back(result.workers[p.widx].death);
+      } else {
+        handle_failure(p.k, p.widx, p.attempt, out.detect);
+      }
+    }
+
+    // Master collects the results in arrival order (step 3(f)), then
+    // recomputes whatever the pool abandoned.
     std::sort(arrivals.begin(), arrivals.end());
     double collect = master_clock;
     for (double a : arrivals) collect = std::max(collect, a) + oh.result_handling_s;
+    if (fallback_s > 0) {
+      fault_span("local_fallback", config.cluster.startup().name, collect,
+                 collect + fallback_s);
+      collect += fallback_s;
+    }
 
     // Rendezvous: the coordinator has counted every death_worker (3(g)/(h)).
     const double all_dead =

@@ -27,6 +27,7 @@
 #include "cluster/cost_model.hpp"
 #include "cluster/host.hpp"
 #include "cluster/network.hpp"
+#include "fault/fault_plan.hpp"
 #include "grid/grid2d.hpp"
 #include "obs/span.hpp"
 #include "trace/ebb_flow.hpp"
@@ -62,6 +63,19 @@ struct SimConfig {
   /// schedule — spawn/marshal/compute/result intervals — as spans, in the
   /// same format the real threaded runtime emits against the wall clock.
   obs::SpanTracer* tracer = nullptr;
+  /// Seeded fault injection (simulator-side faults: host_crash, net_drop,
+  /// net_slow).  The fault stream is independent of the timing-noise RNG, so
+  /// an all-zero config leaves the schedule bit-identical to a fault-free
+  /// build.  Host crashes are silent: the master detects them at a per-task
+  /// deadline derived from the cost model (`retry.deadline_cost_factor` x
+  /// the expected compute time, floored by `retry.task_deadline`), then
+  /// re-dispatches with the same capped-backoff / attempt-cap /
+  /// respawn-budget policy as the threaded protocol; exhausted slots degrade
+  /// to a local recompute on the start-up machine.
+  fault::FaultPlanConfig faults;
+  /// Recovery contract mirrored from the threaded runtime (one struct, two
+  /// execution paths).
+  fault::RetryPolicy retry;
 };
 
 /// Per-worker schedule detail of one simulated run.
@@ -97,6 +111,9 @@ struct SimRunResult {
   std::size_t network_bytes = 0;  ///< payload bytes over the simulated network
   std::vector<HostUsage> host_usage;  ///< per-host virtual busy/idle
   std::vector<WorkerTimeline> workers;
+  /// Injection + recovery ledger of this run (host crashes, dropped/slowed
+  /// transfers, retries, respawns, abandoned slots).
+  fault::FaultCounters faults;
 };
 
 /// One row of Table 1.

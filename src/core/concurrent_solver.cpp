@@ -55,6 +55,24 @@ void run_pool(MasterApi& api, const transport::ProgramConfig& program,
     try {
       for (std::size_t k = 0; k < count; ++k) {
         const iwim::Unit unit = api.collect_result();
+        if (unit.is<WorkAbandoned>()) {
+          // The fault-tolerant pool gave up on this slot (attempt cap or
+          // respawn budget).  Degraded-pool fallback: the master subsolves
+          // the grid itself, so the combined result is still bit-identical
+          // to the sequential program.
+          const auto& ab = unit.as<WorkAbandoned>();
+          const std::size_t idx = first + ab.pool_slot;
+          MG_ASSERT(idx < terms.size());
+          support::Stopwatch local;
+          transport::SubsolveResult r = transport::subsolve(terms[idx].grid, kernel);
+          data.store(idx, std::move(r.solution));
+          records[idx] = {terms[idx].grid, terms[idx].coefficient, r.stats,
+                          local.elapsed_seconds()};
+          api.context().trace("abandoned slot " + std::to_string(ab.pool_slot) +
+                                  " recomputed locally",
+                              "concurrent_solver.cpp", __LINE__);
+          continue;
+        }
         if (!unit.is<ResultItem>()) {
           throw std::runtime_error("solve_concurrent: a worker failed to produce a result");
         }
@@ -186,8 +204,35 @@ ConcurrentResult solve_concurrent(const transport::ProgramConfig& program,
   ConcurrentResult result{transport::SolveResult{grid::Field(grid::Grid2D(program.root, 0, 0)),
                                                  {}, 0, 0, 0, 0},
                           {}, {}};
-  result.protocol = run_main_program(runtime, master, make_worker_factory(std::move(work)));
-  result.solve = result_future.get();
+  RunOptions run_options;
+  run_options.retry = options.retry;
+  run_options.overall_deadline = options.overall_deadline;
+  WorkerFactory factory;
+  std::shared_ptr<InjectionStats> injections;
+  if (options.retry) {
+    auto plan = options.faults.any()
+                    ? std::make_shared<const fault::FaultPlan>(options.faults)
+                    : nullptr;
+    injections = std::make_shared<InjectionStats>();
+    factory = make_fault_aware_worker_factory(std::move(work), std::move(plan), injections);
+  } else {
+    factory = make_worker_factory(std::move(work));
+  }
+  result.protocol = run_main_program(runtime, master, std::move(factory), run_options);
+  if (injections) injections->merge_into(result.protocol.faults);
+  try {
+    // After a deadline abort the master may have unwound without ever
+    // setting the promise — surface an error instead of blocking on it.
+    if (result.protocol.timed_out &&
+        result_future.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      runtime.shutdown();
+      throw std::runtime_error("solve_concurrent: overall deadline expired");
+    }
+    result.solve = result_future.get();
+  } catch (const iwim::ShutdownSignal&) {
+    runtime.shutdown();
+    throw std::runtime_error("solve_concurrent: run aborted at the overall deadline");
+  }
   result.tasks = runtime.tasks().stats();
   runtime.shutdown();
   return result;

@@ -57,10 +57,25 @@ struct ConcurrentOptions {
   iwim::TaskCompositionSpec tasks = iwim::TaskCompositionSpec::paper_distributed();
   iwim::HostMap hosts = iwim::HostMap::generated(32);
   trace::TraceLog* trace = nullptr;  ///< optional §6-style trace, not owned
+  /// Seeded fault injection into the worker incarnations (crash / hang /
+  /// corrupt probabilities; see FaultPlan).  Only meaningful together with
+  /// `retry` — injected faults without a retry policy would strand grids.
+  fault::FaultPlanConfig faults;
+  /// Engages the fault-tolerant protocol when set: crashed/hung workers are
+  /// respawned with backoff and their grids re-dispatched; once the attempt
+  /// cap or respawn budget is exhausted the master recomputes the abandoned
+  /// grid locally (ThroughMaster), so the result stays bit-identical to the
+  /// sequential program even in a degraded pool.
+  std::optional<fault::RetryPolicy> retry;
+  /// Overall wall-clock deadline for the whole run; 0 = none.  On expiry the
+  /// run unwinds with ProtocolStats.timed_out instead of hanging.
+  std::chrono::milliseconds overall_deadline{0};
 };
 
 struct ConcurrentResult {
   transport::SolveResult solve;
+  /// protocol.faults carries the full fault ledger: injections performed by
+  /// the workers plus the coordinator's recovery actions.
   ProtocolStats protocol;
   iwim::TaskStats tasks;
 };

@@ -1,5 +1,7 @@
 #include "core/protocol.hpp"
 
+#include <algorithm>
+#include <map>
 #include <optional>
 
 #include "manifold/state_scope.hpp"
@@ -29,6 +31,30 @@ ProtocolMetrics& protocol_metrics() {
   static ProtocolMetrics m;
   return m;
 }
+
+struct FaultMetrics {
+  obs::Counter& crash_events = obs::registry().counter("mw.fault.crash_events");
+  obs::Counter& timeouts = obs::registry().counter("mw.fault.timeouts");
+  obs::Counter& retries = obs::registry().counter("mw.fault.retries");
+  obs::Counter& respawns = obs::registry().counter("mw.fault.respawns");
+  obs::Counter& abandoned = obs::registry().counter("mw.fault.slots_abandoned");
+  /// Dispatches one slot consumed before resolving (1 = no faults).
+  obs::Histogram& attempts_per_slot =
+      obs::registry().histogram("mw.fault.attempts_per_slot", {1, 2, 3, 4, 6, 8, 12});
+  obs::Histogram& backoff_seconds = obs::registry().histogram("mw.fault.backoff_seconds");
+};
+
+FaultMetrics& fault_metrics() {
+  static FaultMetrics m;
+  return m;
+}
+
+/// Records a `fault`-category span on the global tracer (fault events show
+/// up as their own lane in the Chrome trace).
+void fault_span(const std::string& name, double start, double end) {
+  obs::SpanTracer& t = obs::tracer();
+  if (t.enabled()) t.record({name, "fault", "mw.fault", start, end});
+}
 }  // namespace
 
 using iwim::EventMatcher;
@@ -38,8 +64,322 @@ using iwim::StateScope;
 using iwim::StreamType;
 using iwim::Unit;
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One worker "slot" of the fault-tolerant pool: a position created by one
+/// master create_worker request, surviving crashes of the worker
+/// incarnations that serve it.
+struct Slot {
+  enum class State { Running, AwaitingRespawn, Done, Abandoned };
+
+  std::shared_ptr<iwim::Process> worker;
+  iwim::Stream* result_stream = nullptr;  ///< worker.output -> master.dataport (KK)
+  Unit work;                              ///< replayable copy from the tap
+  bool work_captured = false;
+  std::size_t attempts = 1;               ///< dispatches so far (first spawn = 1)
+  State state = State::Running;
+  bool has_deadline = false;
+  Clock::time_point deadline{};
+  Clock::time_point respawn_due{};
+  double backoff_started = 0.0;           ///< tracer clock, for the fault span
+};
+
+bool resolved(const Slot& s) {
+  return s.state == Slot::State::Done || s.state == Slot::State::Abandoned;
+}
+
+/// The fault-tolerant Create_Worker_Pool.  Same external contract as the
+/// paper's manner — create workers on demand, acknowledge the rendezvous
+/// when the pool has drained — but every worker slot is supervised: a
+/// crash_worker event or an expired per-task deadline re-enqueues the lost
+/// work unit onto a respawned replacement (capped exponential backoff,
+/// bounded respawn budget), and an exhausted slot degrades gracefully by
+/// handing the master a WorkAbandoned unit instead of deadlocking the
+/// rendezvous.
+///
+/// Work replay relies on the §4.3 master behaviour (one send_work per
+/// create_worker): the coordinator taps the master's output port with an
+/// extra BK stream, so it holds a copy of every work unit in creation order.
+PoolStats create_worker_pool_ft(iwim::ProcessContext& coordinator, iwim::Process& master,
+                                const WorkerFactory& factory, std::size_t& worker_counter,
+                                const fault::RetryPolicy& retry) {
+  iwim::Runtime& runtime = coordinator.runtime();
+  PoolStats stats;
+  FaultMetrics& fm = fault_metrics();
+
+  std::vector<Slot> slots;
+  std::map<std::uint64_t, std::size_t> slot_by_worker;  // live incarnation id -> slot
+  std::size_t respawns_used = 0;
+  std::size_t tap_assigned = 0;  // tap units handed to slots so far
+
+  // The replay tap: master.output additionally feeds the coordinator's own
+  // input port.  Attached before any worker stream, so the copy is pushed
+  // before the worker can even read the original (Port::write replicates in
+  // attachment order) — a faulted worker's unit is always replayable.
+  iwim::Port& tap = coordinator.self().port("input");
+  iwim::Stream& tap_stream = runtime.connect(master.port("output"), tap, StreamType::BK);
+
+  auto drain_tap = [&] {
+    while (tap_assigned < slots.size()) {
+      std::optional<Unit> u = tap.try_read();
+      if (!u) break;
+      slots[tap_assigned].work = std::move(*u);
+      slots[tap_assigned].work_captured = true;
+      ++tap_assigned;
+    }
+  };
+
+  auto abandon = [&](std::size_t idx) {
+    Slot& s = slots[idx];
+    s.state = Slot::State::Abandoned;
+    stats.faults.abandoned += 1;
+    stats.faults.degraded = true;
+    fm.abandoned.add();
+    fm.attempts_per_slot.observe(static_cast<double>(s.attempts));
+    coordinator.trace("slot " + std::to_string(idx) + " abandoned after " +
+                          std::to_string(s.attempts) + " attempt(s)",
+                      "protocol.cpp", __LINE__);
+    // Keep the master's collect count intact: it receives an abandonment
+    // marker in place of the result and may fall back to local compute.
+    runtime.send(master.port("dataport"), Unit::of(WorkAbandoned{idx, s.attempts}));
+  };
+
+  // A slot's incarnation failed (crashed, or was killed at its deadline):
+  // retry with backoff if the policy still allows it, else degrade.
+  auto fail_slot = [&](std::size_t idx, bool timed_out) {
+    Slot& s = slots[idx];
+    const double now_t = obs::tracer().clock_now();
+    if (timed_out) {
+      stats.faults.timeouts += 1;
+      fm.timeouts.add();
+      // Cancellable kill: wake the hung incarnation out of any blocked
+      // read/await; break its result stream so a late straggler result
+      // cannot double-deliver into the dataport.
+      s.worker->kill();
+      fault_span("timeout:slot" + std::to_string(idx), now_t, now_t);
+    } else {
+      stats.faults.crash_events += 1;
+      fm.crash_events.add();
+      fault_span("crash:slot" + std::to_string(idx), now_t, now_t);
+    }
+    if (s.result_stream != nullptr) runtime.disconnect_source(*s.result_stream);
+    slot_by_worker.erase(s.worker->id());
+    drain_tap();
+    const bool can_retry = s.work_captured && s.attempts < retry.max_attempts &&
+                           respawns_used < retry.respawn_budget;
+    if (!can_retry) {
+      abandon(idx);
+      return;
+    }
+    s.state = Slot::State::AwaitingRespawn;
+    const auto backoff = retry.backoff_for(s.attempts);
+    s.respawn_due = Clock::now() + backoff;
+    s.backoff_started = now_t;
+    stats.faults.retries += 1;
+    fm.retries.add();
+    fm.backoff_seconds.observe(static_cast<double>(backoff.count()) / 1e3);
+    coordinator.trace("slot " + std::to_string(idx) + " lost its worker (" +
+                          (timed_out ? "timeout" : "crash") + "); retry in " +
+                          std::to_string(backoff.count()) + " ms",
+                      "protocol.cpp", __LINE__);
+  };
+
+  auto respawn = [&](std::size_t idx) {
+    Slot& s = slots[idx];
+    const std::size_t incarnation = worker_counter++;
+    std::shared_ptr<iwim::Process> worker = factory(runtime, incarnation);
+    MG_REQUIRE_MSG(worker != nullptr, "WorkerFactory returned null");
+    s.worker = worker;
+    s.attempts += 1;
+    s.state = Slot::State::Running;
+    if (retry.task_deadline.count() > 0) {
+      s.has_deadline = true;
+      s.deadline = Clock::now() + retry.task_deadline;
+    }
+    respawns_used += 1;
+    stats.faults.respawns += 1;
+    fm.respawns.add();
+    // The replacement gets the saved work unit straight from the
+    // coordinator; only the KK result stream needs wiring.
+    s.result_stream = &runtime.connect(worker->port("output"), master.port("dataport"),
+                                       StreamType::KK);
+    runtime.send(worker->port("input"), s.work);
+    worker->activate();
+    slot_by_worker[worker->id()] = idx;
+    fault_span("respawn:slot" + std::to_string(idx), s.backoff_started,
+               obs::tracer().clock_now());
+    coordinator.trace("slot " + std::to_string(idx) + " respawned (attempt " +
+                          std::to_string(s.attempts) + ")",
+                      "protocol.cpp", __LINE__);
+  };
+
+  // Next timer to service: the earliest live deadline or due respawn.
+  auto next_wake = [&]() -> std::optional<Clock::time_point> {
+    std::optional<Clock::time_point> wake;
+    for (const Slot& s : slots) {
+      if (s.state == Slot::State::Running && s.has_deadline) {
+        if (!wake || s.deadline < *wake) wake = s.deadline;
+      } else if (s.state == Slot::State::AwaitingRespawn) {
+        if (!wake || s.respawn_due < *wake) wake = s.respawn_due;
+      }
+    }
+    return wake;
+  };
+
+  auto service_timers = [&] {
+    const auto now = Clock::now();
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].state == Slot::State::Running && slots[i].has_deadline &&
+          slots[i].deadline <= now) {
+        fail_slot(i, /*timed_out=*/true);
+      }
+    }
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].state == Slot::State::AwaitingRespawn && slots[i].respawn_due <= now) {
+        respawn(i);
+      }
+    }
+  };
+
+  // The streams of the current create_worker state; replaced (dismantled) on
+  // the next pre-empting event.  Only the BK work stream is state-scoped;
+  // the KK result stream is slot-owned (it must survive, and may need to be
+  // broken individually when its worker is killed).
+  std::optional<StateScope> state_streams;
+
+  bool rendezvous_requested = false;
+  support::Stopwatch rendezvous_clock;
+  double rendezvous_started = -1.0;
+
+  const std::vector<EventMatcher> begin_labels = {
+      {ProtocolEvents::create_worker, master.id()},
+      {ProtocolEvents::rendezvous, master.id()},
+      {ProtocolEvents::crash_worker, std::nullopt},
+      {ProtocolEvents::death_worker, std::nullopt},
+      {iwim::kTerminatedEvent, master.id()},
+  };
+  const std::vector<EventMatcher> drain_labels = {
+      {ProtocolEvents::crash_worker, std::nullopt},
+      {ProtocolEvents::death_worker, std::nullopt},
+      {iwim::kTerminatedEvent, master.id()},
+  };
+
+  coordinator.trace("begin (fault-tolerant)", "protocol.cpp", __LINE__);
+  for (;;) {
+    service_timers();
+    if (rendezvous_requested &&
+        std::all_of(slots.begin(), slots.end(), [](const Slot& s) { return resolved(s); })) {
+      break;
+    }
+
+    const auto& labels = rendezvous_requested ? drain_labels : begin_labels;
+    std::optional<EventOccurrence> occurrence;
+    if (const auto wake = next_wake()) {
+      const auto now = Clock::now();
+      const auto until = *wake > now
+                             ? std::chrono::duration_cast<std::chrono::milliseconds>(*wake - now)
+                             : std::chrono::milliseconds(0);
+      occurrence = coordinator.await_for(labels, std::max(until, std::chrono::milliseconds(1)));
+      if (!occurrence) continue;  // timer tick: loop services deadlines/respawns
+    } else {
+      occurrence = coordinator.await(labels);
+    }
+    // NOTE: only the protocol states (create_worker / rendezvous /
+    // termination) dismantle the previous state's streams.  A crash or death
+    // arriving between the worker-reference send and the master's send_work
+    // must NOT break the freshly wired work stream — with the tap attached,
+    // the master's output port always has a stream, so a dismantled work
+    // stream would swallow the unit instead of letting it pend.
+
+    if (occurrence->event == ProtocolEvents::create_worker) {
+      // Lines 27-37: the create_worker state, plus slot supervision.
+      state_streams.reset();  // pre-emption dismantles the previous state's streams
+      coordinator.trace("create_worker: begin", "protocol.cpp", __LINE__);
+      const std::size_t incarnation = worker_counter++;
+      std::shared_ptr<iwim::Process> worker = factory(runtime, incarnation);
+      MG_REQUIRE_MSG(worker != nullptr, "WorkerFactory returned null");
+
+      Slot slot;
+      slot.worker = worker;
+      if (retry.task_deadline.count() > 0) {
+        slot.has_deadline = true;
+        slot.deadline = Clock::now() + retry.task_deadline;
+      }
+      // Line 32: worker.output -> master.dataport, type KK (slot-owned).
+      slot.result_stream =
+          &runtime.connect(worker->port("output"), master.port("dataport"), StreamType::KK);
+      state_streams.emplace(runtime);
+      // Line 36 second `->`: master.output -> worker.input (default BK).
+      state_streams->connect(master.port("output"), worker->port("input"), StreamType::BK);
+      // Line 36 first `->`: the worker reference `&worker` flows to master.
+      runtime.send(master.port("input"), Unit::of(ProcessRef{worker}));
+      slot_by_worker[worker->id()] = slots.size();
+      slots.push_back(std::move(slot));
+      protocol_metrics().workers_created.add();
+    } else if (occurrence->event == ProtocolEvents::rendezvous) {
+      state_streams.reset();
+      rendezvous_requested = true;
+      rendezvous_clock.reset();
+      rendezvous_started = obs::tracer().clock_now();
+    } else if (occurrence->event == ProtocolEvents::crash_worker) {
+      const auto it = slot_by_worker.find(occurrence->source);
+      // Unknown sources are stale: a crash from a worker this pool already
+      // resolved (or another pool's) must not corrupt the accounting.
+      if (it != slot_by_worker.end() && slots[it->second].state == Slot::State::Running) {
+        fail_slot(it->second, /*timed_out=*/false);
+      }
+    } else if (occurrence->event == ProtocolEvents::death_worker) {
+      const auto it = slot_by_worker.find(occurrence->source);
+      if (it != slot_by_worker.end() && slots[it->second].state == Slot::State::Running) {
+        Slot& s = slots[it->second];
+        s.state = Slot::State::Done;
+        fm.attempts_per_slot.observe(static_cast<double>(s.attempts));
+        slot_by_worker.erase(it);
+      }
+    } else {
+      // The master terminated mid-pool: nobody is left to acknowledge the
+      // rendezvous.  Kill what still runs and abort instead of waiting for
+      // deaths forever.
+      state_streams.reset();
+      for (Slot& s : slots) {
+        if (s.state == Slot::State::Running) s.worker->kill();
+      }
+      stats.faults.degraded = true;
+      stats.master_terminated = true;
+      stats.workers_created = slots.size();
+      coordinator.trace("master terminated mid-pool; aborting", "protocol.cpp", __LINE__);
+      runtime.disconnect_source(tap_stream);
+      return stats;
+    }
+  }
+
+  const double waited = rendezvous_started >= 0 ? rendezvous_clock.elapsed_seconds() : 0.0;
+  protocol_metrics().rendezvous_wait.observe(waited);
+  protocol_metrics().pool_workers.observe(static_cast<double>(slots.size()));
+
+  // The pool is over: break the tap and consume the copies of work units
+  // that resolved without a replay, so the next pool starts a clean tap.
+  runtime.disconnect_source(tap_stream);
+  drain_tap();
+
+  stats.workers_created = slots.size();
+  stats.rendezvous_wait_seconds = waited;
+  // Line 50: MES + raise(a_rendezvous); the manner returns.
+  coordinator.trace("rendezvous acknowledged", "protocol.cpp", __LINE__);
+  coordinator.raise(ProtocolEvents::a_rendezvous);
+  return stats;
+}
+
+}  // namespace
+
 PoolStats create_worker_pool(iwim::ProcessContext& coordinator, iwim::Process& master,
-                             const WorkerFactory& factory, std::size_t& worker_counter) {
+                             const WorkerFactory& factory, std::size_t& worker_counter,
+                             const fault::RetryPolicy* retry) {
+  if (retry != nullptr) {
+    return create_worker_pool_ft(coordinator, master, factory, worker_counter, *retry);
+  }
   iwim::Runtime& runtime = coordinator.runtime();
 
   // Lines 18-19: `auto process now is variable(0). auto process t is
@@ -98,13 +438,14 @@ PoolStats create_worker_pool(iwim::ProcessContext& coordinator, iwim::Process& m
       // Line 50: MES + raise(a_rendezvous); the manner returns.
       coordinator.trace("rendezvous acknowledged", "protocol.cpp", __LINE__);
       coordinator.raise(ProtocolEvents::a_rendezvous);
-      return {static_cast<std::size_t>(now), waited};
+      return {static_cast<std::size_t>(now), waited, {}, false};
     }
   }
 }
 
 ProtocolStats protocol_mw(iwim::ProcessContext& coordinator,
-                          const std::shared_ptr<iwim::Process>& master, WorkerFactory factory) {
+                          const std::shared_ptr<iwim::Process>& master, WorkerFactory factory,
+                          const fault::RetryPolicy* retry) {
   MG_REQUIRE(master != nullptr);
   ProtocolStats stats;
   std::size_t worker_counter = 0;
@@ -122,11 +463,16 @@ ProtocolStats protocol_mw(iwim::ProcessContext& coordinator,
     if (occurrence.event == ProtocolEvents::create_pool) {
       // Line 61: the create_pool state calls Create_Worker_Pool, then posts
       // begin (the loop continues).
-      const PoolStats pool = create_worker_pool(coordinator, *master, factory, worker_counter);
+      const PoolStats pool =
+          create_worker_pool(coordinator, *master, factory, worker_counter, retry);
       stats.workers_created += pool.workers_created;
       stats.rendezvous_wait_seconds += pool.rendezvous_wait_seconds;
       stats.pools_created += 1;
+      stats.faults += pool.faults;
       protocol_metrics().pools_created.add();
+      // The pool saw the master terminate: it consumed the occurrence, so
+      // returning here (not re-awaiting) is what ends the protocol.
+      if (pool.master_terminated) return stats;
     } else {
       // Line 63 (`finished: halt.`) or the master terminated first.
       return stats;
@@ -136,19 +482,33 @@ ProtocolStats protocol_mw(iwim::ProcessContext& coordinator,
 
 ProtocolStats run_main_program(iwim::Runtime& runtime,
                                const std::shared_ptr<iwim::Process>& master,
-                               WorkerFactory factory) {
+                               WorkerFactory factory, RunOptions options) {
   MG_REQUIRE(master != nullptr);
   ProtocolStats stats;
+  const fault::RetryPolicy* retry = options.retry ? &*options.retry : nullptr;
   // §5 mainprog.m: Main's begin state is ProtocolMW(Master(argv), Worker).
   auto main = runtime.create_process(
-      "Main", "main", [&stats, master, factory = std::move(factory)](iwim::ProcessContext& ctx) {
-        stats = protocol_mw(ctx, master, factory);
+      "Main", "main",
+      [&stats, master, retry, factory = std::move(factory)](iwim::ProcessContext& ctx) {
+        stats = protocol_mw(ctx, master, factory, retry);
       });
   // The master passed to ProtocolMW is "the already active process instance".
   master->activate();
   main->activate();
+  bool timed_out = false;
+  if (options.overall_deadline.count() > 0 &&
+      !main->wait_terminated_for(options.overall_deadline)) {
+    // The protocol outlived its deadline (e.g. the master died mid-pool
+    // without fault tolerance engaged).  Wake every blocked wait with
+    // ShutdownSignal so the coordinator and master unwind, and report an
+    // error status instead of hanging.
+    timed_out = true;
+    main->stop_blocking();
+    master->stop_blocking();
+  }
   main->wait_terminated();
   master->wait_terminated();
+  if (timed_out) stats.timed_out = true;
   return stats;
 }
 

@@ -13,17 +13,24 @@
 // corresponding protocolMW.m lines.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 
+#include "fault/fault_plan.hpp"
 #include "manifold/process.hpp"
 #include "manifold/runtime.hpp"
 
 namespace mg::mw {
 
-/// The extern events of the behaviour interface (§4.3 step 1).
+/// The extern events of the behaviour interface (§4.3 step 1), plus the
+/// fault-tolerance extension: `crash_worker` is raised by a worker that dies
+/// *without* producing its result (an exception, an injected crash, or a
+/// result discarded at the transport boundary), so the coordinator can
+/// distinguish lost work from a normal `death_worker` completion.
 struct ProtocolEvents {
   static constexpr const char* create_pool = "create_pool";
   static constexpr const char* create_worker = "create_worker";
@@ -31,6 +38,16 @@ struct ProtocolEvents {
   static constexpr const char* a_rendezvous = "a_rendezvous";
   static constexpr const char* finished = "finished";
   static constexpr const char* death_worker = "death_worker";
+  static constexpr const char* crash_worker = "crash_worker";
+};
+
+/// Unit the fault-tolerant coordinator deposits into the master's dataport
+/// in place of a result it gave up on (attempt cap or respawn budget
+/// exhausted): the master's collect loop keeps its count, sees which slot
+/// degraded, and can fall back to computing the work itself.
+struct WorkAbandoned {
+  std::size_t pool_slot = 0;  ///< creation order within the pool (0-based)
+  std::size_t attempts = 0;   ///< dispatches consumed before giving up
 };
 
 /// Creates one (not yet activated) worker process.  The paper passes the
@@ -40,31 +57,68 @@ using WorkerFactory =
 
 struct ProtocolStats {
   std::size_t pools_created = 0;
-  std::size_t workers_created = 0;
+  std::size_t workers_created = 0;  ///< master-requested workers (respawns excluded)
   /// Total wall time the coordinator spent at rendezvous counting
   /// death_worker events — pure coordination-layer overhead (§7's third
   /// category).
   double rendezvous_wait_seconds = 0.0;
+  /// Fault-tolerance ledger (crashes handled, retries, respawns, slots
+  /// abandoned); all-zero when the retry policy is off and nothing failed.
+  fault::FaultCounters faults;
+  /// run_main_program's overall deadline expired before the protocol ended.
+  bool timed_out = false;
 };
 
 /// What one Create_Worker_Pool invocation did.
 struct PoolStats {
   std::size_t workers_created = 0;
   double rendezvous_wait_seconds = 0.0;
+  fault::FaultCounters faults;
+  /// The master terminated mid-pool; the pool aborted instead of waiting for
+  /// deaths that can no longer be acknowledged.
+  bool master_terminated = false;
 };
 
 /// The manner ProtocolMW (protocolMW.m lines 54-64).  Call from a
 /// coordinator process body; returns when the master raises `finished` (the
 /// `halt` on line 63) or terminates.
+///
+/// With a non-null `retry`, pools run the fault-tolerant variant: workers
+/// must use the fault-aware factory (they raise `crash_worker` on failure —
+/// see make_fault_aware_worker_factory), lost work units are re-dispatched
+/// to respawned workers with capped exponential backoff, hung workers are
+/// killed at the per-task deadline, and once the attempt cap or respawn
+/// budget is exhausted the slot is abandoned: the master receives a
+/// WorkAbandoned unit instead of the result and the pool finishes degraded
+/// rather than hanging.
 ProtocolStats protocol_mw(iwim::ProcessContext& coordinator,
-                          const std::shared_ptr<iwim::Process>& master, WorkerFactory factory);
+                          const std::shared_ptr<iwim::Process>& master, WorkerFactory factory,
+                          const fault::RetryPolicy* retry = nullptr);
 
 /// The manner Create_Worker_Pool (protocolMW.m lines 12-51).  Creates
 /// workers on demand, wires their streams, counts death_worker events at the
 /// rendezvous and raises a_rendezvous.  Returns the number of workers the
-/// pool created and the time spent waiting at the rendezvous.
+/// pool created and the time spent waiting at the rendezvous.  With a
+/// non-null `retry`, runs the fault-tolerant pool described at protocol_mw.
+/// `worker_counter` numbers worker *incarnations*: respawned replacements
+/// consume fresh values, which is what makes seeded fault injection a pure
+/// function of the counter.
 PoolStats create_worker_pool(iwim::ProcessContext& coordinator, iwim::Process& master,
-                             const WorkerFactory& factory, std::size_t& worker_counter);
+                             const WorkerFactory& factory, std::size_t& worker_counter,
+                             const fault::RetryPolicy* retry = nullptr);
+
+struct RunOptions {
+  /// Engages the fault-tolerant pool when set.  The fault-tolerant pool
+  /// assumes the master sends exactly one work unit per create_worker (the
+  /// §4.3 behaviour) so lost units can be replayed from the coordinator's
+  /// tap of the master's output stream.
+  std::optional<fault::RetryPolicy> retry;
+  /// Overall wall-clock deadline for the whole main program; 0 = none.  On
+  /// expiry every blocked coordinator/master wait is woken with
+  /// ShutdownSignal and the returned stats carry timed_out=true — an error
+  /// status instead of a hang when the master dies without raising finished.
+  std::chrono::milliseconds overall_deadline{0};
+};
 
 /// Builds and runs the whole §5 main program:
 ///
@@ -76,6 +130,6 @@ PoolStats create_worker_pool(iwim::ProcessContext& coordinator, iwim::Process& m
 /// and blocks until both have terminated.  Returns the protocol statistics.
 ProtocolStats run_main_program(iwim::Runtime& runtime,
                                const std::shared_ptr<iwim::Process>& master,
-                               WorkerFactory factory);
+                               WorkerFactory factory, RunOptions options = {});
 
 }  // namespace mg::mw

@@ -10,10 +10,14 @@
 // easy to write as C wrappers around the original C subroutines", §5).
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "core/protocol.hpp"
+#include "fault/fault_plan.hpp"
 
 namespace mg::mw {
 
@@ -25,5 +29,42 @@ using WorkFn = std::function<iwim::Unit(const iwim::Unit&)>;
 /// created worker has kind `kind` (task weights key off it) and name
 /// "<kind><index>".
 WorkerFactory make_worker_factory(WorkFn work, std::string kind = "Worker");
+
+/// What the fault-aware workers actually injected (atomics: workers run on
+/// their own threads).  Shared by every incarnation a factory creates.
+struct InjectionStats {
+  std::atomic<std::size_t> crashes{0};
+  std::atomic<std::size_t> hangs{0};
+  std::atomic<std::size_t> corruptions{0};
+
+  void merge_into(fault::FaultCounters& c) const {
+    c.crashes_injected += crashes.load(std::memory_order_relaxed);
+    c.hangs_injected += hangs.load(std::memory_order_relaxed);
+    c.corruptions_injected += corruptions.load(std::memory_order_relaxed);
+  }
+};
+
+/// Fault-aware variant of make_worker_factory, for pools run with a
+/// RetryPolicy.  The plan decides per *incarnation index* (deterministic in
+/// the seed, regardless of thread interleaving):
+///
+///  - Crash:   the worker reads its work unit, then dies raising
+///             `crash_worker` — no result, no death_worker.
+///  - Hang:    the worker reads its work unit and blocks forever; only the
+///             coordinator's deadline kill releases it.
+///  - Corrupt: the worker computes but its result is "corrupted in
+///             transport": discarded, and crash_worker raised instead.
+///  - None:    the normal §4.3 behaviour; a genuine exception from the work
+///             function also raises crash_worker (so the coordinator retries
+///             it) instead of faking an empty result.
+///
+/// Pair exclusively with a fault-tolerant pool: a crash_worker raised under
+/// the legacy coordinator would leave the rendezvous counting forever.
+/// `plan` may be null (no injection, but exceptions still crash visibly);
+/// `stats`, when non-null, accumulates the injections actually performed.
+WorkerFactory make_fault_aware_worker_factory(WorkFn work,
+                                              std::shared_ptr<const fault::FaultPlan> plan,
+                                              std::shared_ptr<InjectionStats> stats = nullptr,
+                                              std::string kind = "Worker");
 
 }  // namespace mg::mw

@@ -1,0 +1,144 @@
+// Deterministic fault injection and the shared retry policy.
+//
+// The paper's ProtocolMW counts death_worker events at the rendezvous (§4)
+// but treats every death as a normal completion — a crashed or hung worker
+// silently loses its grid and deadlocks the run.  FaultPlan is the seeded
+// adversary both execution paths share: the threaded IWIM runtime injects
+// worker crashes, hangs, and result corruption into real `iwim::Process`
+// workers, and the virtual-time ClusterSim injects host crashes and network
+// drops/slowdowns — all as pure functions of (seed, incarnation), so every
+// faulty run is reproducible from its seed.
+//
+// RetryPolicy is the one recovery contract mirrored by both paths: a
+// per-task deadline (wall-clock for the threaded runtime, cost-model-derived
+// for the simulator), capped exponential backoff between re-dispatches, a
+// per-slot attempt cap, and a pool-wide respawn budget after which the pool
+// degrades gracefully instead of hanging.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace mg::obs {
+class JsonWriter;
+}
+
+namespace mg::fault {
+
+/// What happens to one worker incarnation (one spawned worker process, or
+/// one simulated compute attempt).
+enum class WorkerFault {
+  None,     ///< completes normally
+  Crash,    ///< dies after reading its work, without producing a result
+  Hang,     ///< blocks forever after reading its work (until killed)
+  Corrupt,  ///< computes, but the result fails its integrity check and is
+            ///< discarded at the transport boundary (surfaces as a crash)
+};
+
+const char* to_string(WorkerFault f);
+
+/// Recovery contract shared by the threaded protocol and the simulator.
+struct RetryPolicy {
+  /// Per-task wall-clock deadline after dispatch; 0 disables timeouts.  The
+  /// simulator additionally derives a lower bound from the cost model (see
+  /// `deadline_cost_factor`), so slow-but-alive workers are not killed.
+  std::chrono::milliseconds task_deadline{0};
+  /// Simulator: deadline >= factor * expected compute time for the grid.
+  double deadline_cost_factor = 4.0;
+  /// Dispatch attempts per work unit, including the first.
+  std::size_t max_attempts = 3;
+  /// Pool-wide cap on respawned workers; once spent, further lost work is
+  /// abandoned and the pool degrades instead of hanging.
+  std::size_t respawn_budget = static_cast<std::size_t>(-1);
+  std::chrono::milliseconds backoff_initial{10};
+  double backoff_multiplier = 2.0;
+  std::chrono::milliseconds backoff_cap{1000};
+
+  /// Capped exponential backoff before re-dispatch number `attempt` (the
+  /// first retry is attempt 1).
+  std::chrono::milliseconds backoff_for(std::size_t attempt) const;
+  double backoff_seconds_for(std::size_t attempt) const;
+
+  /// True when any fault-tolerance machinery (deadline or retry) is wanted.
+  bool enabled() const { return task_deadline.count() > 0 || max_attempts > 1; }
+};
+
+/// Injection probabilities; all default to "no faults".
+struct FaultPlanConfig {
+  std::uint64_t seed = 2004;
+  // Threaded-runtime worker faults (per incarnation, mutually exclusive).
+  double crash = 0.0;
+  double hang = 0.0;
+  double corrupt = 0.0;
+  // Simulator-only faults.
+  double host_crash = 0.0;   ///< host dies mid-compute (per attempt)
+  double net_drop = 0.0;     ///< transfer lost, must be retransmitted
+  double net_slow = 0.0;     ///< transfer degraded by `net_slow_factor`
+  double net_slow_factor = 3.0;
+
+  bool any() const {
+    return crash > 0 || hang > 0 || corrupt > 0 || host_crash > 0 || net_drop > 0 ||
+           net_slow > 0;
+  }
+};
+
+/// Parses a `--faults=` spec: comma-separated key=value pairs, e.g.
+/// "seed=7,crash=0.25,hang=0.1,corrupt=0.05,host_crash=0.2,net_drop=0.1".
+/// Unknown keys throw std::invalid_argument.
+FaultPlanConfig parse_fault_spec(const std::string& spec);
+
+/// The seeded adversary.  Every decision is a pure function of the seed and
+/// an incarnation/transfer ordinal — independent of thread interleaving —
+/// so the *set* of injected faults is identical across runs of one seed.
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultPlanConfig config) : config_(config) {}
+
+  const FaultPlanConfig& config() const { return config_; }
+
+  /// Fault (if any) injected into worker incarnation `incarnation`.
+  WorkerFault worker_fault(std::uint64_t incarnation) const;
+
+  /// Simulator: does the host executing attempt `incarnation` crash?
+  bool host_crashes(std::uint64_t incarnation) const;
+  /// Fraction of the compute interval elapsed when the host dies, in (0, 1).
+  double host_crash_fraction(std::uint64_t incarnation) const;
+
+  /// Simulator: is network transfer `ordinal` dropped / slowed?
+  bool drops_transfer(std::uint64_t ordinal) const;
+  double transfer_slowdown(std::uint64_t ordinal) const;
+
+ private:
+  double roll(std::uint64_t ordinal, std::uint64_t salt) const;
+
+  FaultPlanConfig config_;
+};
+
+/// What the fault-tolerance layer did during one run — filled by the
+/// threaded protocol and by the simulator, and emitted as the `faults`
+/// section of `--report=` JSON.
+struct FaultCounters {
+  // Injection side (what the plan did).
+  std::size_t crashes_injected = 0;
+  std::size_t hangs_injected = 0;
+  std::size_t corruptions_injected = 0;
+  std::size_t host_crashes_injected = 0;
+  std::size_t net_drops_injected = 0;
+  std::size_t net_slowdowns_injected = 0;
+  // Recovery side (what the protocol did about it).
+  std::size_t crash_events = 0;     ///< crash_worker occurrences handled
+  std::size_t timeouts = 0;         ///< per-task deadlines expired (kills)
+  std::size_t retries = 0;          ///< work units re-enqueued
+  std::size_t respawns = 0;         ///< replacement workers spawned
+  std::size_t abandoned = 0;        ///< slots given up on (degradation)
+  bool degraded = false;            ///< pool finished smaller than requested
+
+  FaultCounters& operator+=(const FaultCounters& other);
+  bool any() const;
+};
+
+/// Serialises the counters as one JSON object value (append after a key()).
+void fault_counters_to_json(obs::JsonWriter& w, const FaultCounters& c);
+
+}  // namespace mg::fault

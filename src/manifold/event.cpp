@@ -40,12 +40,15 @@ std::optional<EventOccurrence> EventMemory::await_for(const std::vector<EventMat
                                                       std::chrono::milliseconds timeout) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   std::unique_lock<std::mutex> lock(mutex_);
+  // Same discipline as Port::read_for: loop until the deadline itself has
+  // passed — a spurious wake goes back to waiting, and an occurrence
+  // deposited between the cv timeout and the lock re-acquisition is still
+  // taken rather than dropped.
   for (;;) {
     if (auto found = take_locked(matchers)) return found;
     if (stopping_) throw ShutdownSignal{};
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
-      return take_locked(matchers);
-    }
+    if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+    cv_.wait_until(lock, deadline);
   }
 }
 

@@ -35,39 +35,13 @@ std::size_t Stream::pending() const {
 Port::Port(Process* owner, std::string name, Direction direction)
     : owner_(owner), name_(std::move(name)), direction_(direction) {}
 
-Unit Port::read() {
-  MG_REQUIRE(direction_ == Direction::In);
-  std::unique_lock<std::mutex> lock(mutex_);
-  for (;;) {
-    if (!direct_.empty()) {
-      Unit u = std::move(direct_.front());
-      direct_.pop_front();
-      return u;
-    }
-    // Round-robin over incoming streams for fairness when several feed us.
-    const std::size_t n = incoming_.size();
-    for (std::size_t k = 0; k < n; ++k) {
-      Stream* s = incoming_[(rr_cursor_ + k) % n];
-      if (!s->queue_.empty()) {
-        Unit u = std::move(s->queue_.front());
-        s->queue_.pop_front();
-        rr_cursor_ = (rr_cursor_ + k + 1) % n;
-        return u;
-      }
-    }
-    if (stopping_) throw ShutdownSignal{};
-    cv_.wait(lock);
-  }
-}
-
-std::optional<Unit> Port::try_read() {
-  MG_REQUIRE(direction_ == Direction::In);
-  std::lock_guard<std::mutex> lock(mutex_);
+std::optional<Unit> Port::take_locked() {
   if (!direct_.empty()) {
     Unit u = std::move(direct_.front());
     direct_.pop_front();
     return u;
   }
+  // Round-robin over incoming streams for fairness when several feed us.
   const std::size_t n = incoming_.size();
   for (std::size_t k = 0; k < n; ++k) {
     Stream* s = incoming_[(rr_cursor_ + k) % n];
@@ -81,28 +55,35 @@ std::optional<Unit> Port::try_read() {
   return std::nullopt;
 }
 
+Unit Port::read() {
+  MG_REQUIRE(direction_ == Direction::In);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (auto u = take_locked()) return std::move(*u);
+    if (stopping_) throw ShutdownSignal{};
+    cv_.wait(lock);
+  }
+}
+
+std::optional<Unit> Port::try_read() {
+  MG_REQUIRE(direction_ == Direction::In);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return take_locked();
+}
+
 std::optional<Unit> Port::read_for(std::chrono::milliseconds timeout) {
   MG_REQUIRE(direction_ == Direction::In);
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   std::unique_lock<std::mutex> lock(mutex_);
+  // Loop until the deadline itself has passed, not until the first wake the
+  // cv reports as timeout-free: a spurious wake must go back to waiting, and
+  // a timed-out wait must still re-check the queues — a unit deposited
+  // between the wakeup and the lock re-acquisition must not be dropped.
   for (;;) {
-    if (!direct_.empty()) {
-      Unit u = std::move(direct_.front());
-      direct_.pop_front();
-      return u;
-    }
-    const std::size_t n = incoming_.size();
-    for (std::size_t k = 0; k < n; ++k) {
-      Stream* s = incoming_[(rr_cursor_ + k) % n];
-      if (!s->queue_.empty()) {
-        Unit u = std::move(s->queue_.front());
-        s->queue_.pop_front();
-        rr_cursor_ = (rr_cursor_ + k + 1) % n;
-        return u;
-      }
-    }
+    if (auto u = take_locked()) return u;
     if (stopping_) throw ShutdownSignal{};
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) return std::nullopt;
+    if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+    cv_.wait_until(lock, deadline);
   }
 }
 

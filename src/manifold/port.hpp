@@ -102,6 +102,10 @@ class Port {
   friend class Runtime;
   friend class Stream;
 
+  /// Takes the next available unit (direct first, then round-robin over the
+  /// incoming streams).  Caller holds mutex_.
+  std::optional<Unit> take_locked();
+
   // Runtime wiring helpers; see Runtime::connect / disconnect_source.
   void attach_outgoing(Stream* stream);    // locks this (source) port
   void attach_incoming(Stream* stream);    // locks this (sink) port

@@ -108,6 +108,13 @@ bool Process::wait_terminated_for(std::chrono::milliseconds timeout) {
 
 void Process::raise(const std::string& event) { runtime_.broadcast_event(*this, event); }
 
+void Process::kill() {
+  if (killed_.exchange(true, std::memory_order_acq_rel)) return;
+  if (phase() == Phase::Terminated) return;
+  runtime_.trace_message(*this, "process.cpp", __LINE__, "Killed");
+  stop_blocking();
+}
+
 void Process::stop_blocking() {
   events_.stop();
   for (auto& [name, port] : ports_) {

@@ -102,6 +102,14 @@ class Process : public std::enable_shared_from_this<Process> {
   /// Wakes any blocked read/await on this process with ShutdownSignal.
   void stop_blocking();
 
+  /// Cancellable kill: marks the process killed and wakes any blocked
+  /// read/await with ShutdownSignal, so the body unwinds without completing
+  /// (a killed worker never raises death_worker).  A body busy in pure
+  /// compute is unaffected until its next blocking operation — the caller
+  /// must not wait on it.  Idempotent; no-op after termination.
+  void kill();
+  bool killed() const { return killed_.load(std::memory_order_acquire); }
+
   /// Task instance this process was placed into (0 before activation).
   std::uint64_t task_id() const { return task_id_.load(std::memory_order_acquire); }
 
@@ -123,6 +131,7 @@ class Process : public std::enable_shared_from_this<Process> {
   std::map<std::string, std::unique_ptr<Port>> ports_;
   EventMemory events_;
   std::atomic<Phase> phase_{Phase::Created};
+  std::atomic<bool> killed_{false};
   std::atomic<std::uint64_t> task_id_{0};
 
   std::mutex phase_mutex_;

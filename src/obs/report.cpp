@@ -44,6 +44,10 @@ std::string RunReport::json(const MetricsSnapshot& snapshot) const {
   } else {
     w.raw(derived_.str());
   }
+  if (!faults_.str().empty()) {
+    w.key("faults");
+    w.raw(faults_.str());
+  }
   w.key("metrics");
   metrics_to_json(w, snapshot);
   w.end_object();

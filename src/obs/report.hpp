@@ -10,6 +10,7 @@
 //     "schema_version": 1,
 //     "config": { ... },            // tool-specific echo of its parameters
 //     "derived": { ... },           // tool-specific derived quantities
+//     "faults": { ... },            // optional: fault-injection/recovery ledger
 //     "metrics": {
 //       "counters":  { "<name>": <uint>, ... },
 //       "gauges":    { "<name>": <double>, ... },
@@ -39,6 +40,10 @@ class RunReport {
   /// Writers for the tool-specific sections; fill with one JSON object each.
   JsonWriter& config() { return config_; }
   JsonWriter& derived() { return derived_; }
+  /// Optional "faults" section (fill with fault::fault_counters_to_json);
+  /// omitted from the document when left empty, so fault-free reports are
+  /// unchanged.
+  JsonWriter& faults() { return faults_; }
 
   /// The complete report document, with `metrics` captured at call time.
   std::string json(const MetricsSnapshot& snapshot) const;
@@ -50,6 +55,7 @@ class RunReport {
   std::string tool_;
   JsonWriter config_;
   JsonWriter derived_;
+  JsonWriter faults_;
 };
 
 }  // namespace mg::obs

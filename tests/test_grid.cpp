@@ -168,7 +168,9 @@ TEST(Prolongation, SecondOrderConvergenceForSmoothFunction) {
     Field coarse(Grid2D(2, l, l));
     coarse.sample(smooth);
     const double err = prolongate(coarse, fine_grid).max_error(smooth);
-    if (l > 0) EXPECT_LT(err, previous / 3.0);
+    if (l > 0) {
+      EXPECT_LT(err, previous / 3.0);
+    }
     previous = err;
   }
 }

@@ -312,11 +312,12 @@ TEST_F(RuntimeFixture, RaiseBroadcastsToAllProcesses) {
   std::atomic<int> woken{0};
   std::vector<std::shared_ptr<AtomicProcess>> waiters;
   for (int i = 0; i < 3; ++i) {
-    waiters.push_back(runtime.create_process("W", "w" + std::to_string(i),
-                                             [&](ProcessContext& ctx) {
-                                               ctx.await({{"flood", std::nullopt}});
-                                               ++woken;
-                                             }));
+    std::string name = "w";  // two steps: GCC 12's -Wrestrict misfires on
+    name += std::to_string(i);  // `"w" + std::to_string(i)` at -O3
+    waiters.push_back(runtime.create_process("W", name, [&](ProcessContext& ctx) {
+      ctx.await({{"flood", std::nullopt}});
+      ++woken;
+    }));
   }
   for (auto& w : waiters) w->activate();
   auto raiser = runtime.create_process("R", "r", [](ProcessContext& ctx) { ctx.raise("flood"); });

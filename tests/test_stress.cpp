@@ -73,10 +73,11 @@ TEST(Stress, PortManyWritersOneReader) {
   });
   std::vector<std::shared_ptr<iwim::AtomicProcess>> writers;
   for (int w = 0; w < kWriters; ++w) {
-    writers.push_back(
-        runtime.create_process("Writer", "w" + std::to_string(w), [](iwim::ProcessContext& ctx) {
-          for (std::int64_t i = 1; i <= kPerWriter; ++i) ctx.write(Unit::of(i));
-        }));
+    std::string name = "w";  // two steps: GCC 12's -Wrestrict misfires on
+    name += std::to_string(w);  // `"w" + std::to_string(w)` at -O3
+    writers.push_back(runtime.create_process("Writer", name, [](iwim::ProcessContext& ctx) {
+      for (std::int64_t i = 1; i <= kPerWriter; ++i) ctx.write(Unit::of(i));
+    }));
     runtime.connect(writers.back()->port("output"), reader->port("input"));
   }
   reader->activate();
