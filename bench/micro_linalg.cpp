@@ -19,9 +19,12 @@ using namespace mg;
 
 transport::TransportSystem make_system(int lx, int ly,
                                        transport::StageSolverKind kind =
-                                           transport::StageSolverKind::BandedLU) {
+                                           transport::StageSolverKind::BandedLU,
+                                       bool cache_stage = true, bool warm_start = false) {
   transport::SystemOptions options;
   options.solver = kind;
+  options.cache_stage = cache_stage;
+  options.warm_start = warm_start;
   return transport::TransportSystem(grid::Grid2D(2, lx, ly), transport::TransportProblem{},
                                     options);
 }
@@ -49,8 +52,11 @@ void BM_Spmv(benchmark::State& state) {
 }
 BENCHMARK(BM_Spmv)->Arg(3)->Arg(4)->Arg(5);
 
+// The seed's rebuild-every-step reference: a fresh shifted_identity + band
+// factorisation per preparation (cache_stage = false).
 void BM_StageMatrixBuildAndFactor(benchmark::State& state) {
-  auto system = make_system(static_cast<int>(state.range(0)), static_cast<int>(state.range(0)));
+  auto system = make_system(static_cast<int>(state.range(0)), static_cast<int>(state.range(0)),
+                            transport::StageSolverKind::BandedLU, /*cache_stage=*/false);
   linalg::Vec u(system.dimension(), 0.5);
   for (auto _ : state) {
     auto solver = system.prepare_stage(0.0, u, 0.01);
@@ -58,6 +64,57 @@ void BM_StageMatrixBuildAndFactor(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StageMatrixBuildAndFactor)->Arg(2)->Arg(3)->Arg(4);
+
+// Cache hit: gamma*h unchanged, the factors are reused outright.  The ratio
+// to BM_StageMatrixBuildAndFactor is the headline prepare_stage speedup.
+void BM_StagePrepareCacheHit(benchmark::State& state) {
+  auto system = make_system(static_cast<int>(state.range(0)), static_cast<int>(state.range(0)));
+  linalg::Vec u(system.dimension(), 0.5);
+  { auto warmup = system.prepare_stage(0.0, u, 0.01); }  // pay the first-build miss
+  for (auto _ : state) {
+    auto solver = system.prepare_stage(0.0, u, 0.01);
+    benchmark::DoNotOptimize(solver.get());
+  }
+}
+BENCHMARK(BM_StagePrepareCacheHit)->Arg(2)->Arg(3)->Arg(4);
+
+// Cache refresh: gamma*h alternates, so every preparation updates values in
+// place and refactorises — the adaptive controller's steady state.
+void BM_StagePrepareRefresh(benchmark::State& state) {
+  auto system = make_system(static_cast<int>(state.range(0)), static_cast<int>(state.range(0)));
+  linalg::Vec u(system.dimension(), 0.5);
+  double gamma_h = 0.01;
+  for (auto _ : state) {
+    gamma_h = gamma_h == 0.01 ? 0.02 : 0.01;
+    auto solver = system.prepare_stage(0.0, u, gamma_h);
+    benchmark::DoNotOptimize(solver.get());
+  }
+}
+BENCHMARK(BM_StagePrepareRefresh)->Arg(2)->Arg(3)->Arg(4);
+
+// The O(nnz) single-pass diagonal extraction.
+void BM_CsrDiagonal(benchmark::State& state) {
+  auto system = make_system(static_cast<int>(state.range(0)), static_cast<int>(state.range(0)));
+  const auto& a = system.jacobian();
+  for (auto _ : state) {
+    auto d = a.diagonal();
+    benchmark::DoNotOptimize(d.data());
+  }
+}
+BENCHMARK(BM_CsrDiagonal)->Arg(3)->Arg(4)->Arg(5);
+
+// The replaced per-row at(i, i) probe, inlined here as the baseline: each
+// at() binary-searches/scans the row from scratch.
+void BM_CsrDiagonalPerRowProbe(benchmark::State& state) {
+  auto system = make_system(static_cast<int>(state.range(0)), static_cast<int>(state.range(0)));
+  const auto& a = system.jacobian();
+  for (auto _ : state) {
+    linalg::Vec d(a.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i) d[i] = a.at(i, i);
+    benchmark::DoNotOptimize(d.data());
+  }
+}
+BENCHMARK(BM_CsrDiagonalPerRowProbe)->Arg(3)->Arg(4)->Arg(5);
 
 void BM_StageSolve(benchmark::State& state) {
   const auto kind = static_cast<transport::StageSolverKind>(state.range(1));
@@ -76,6 +133,28 @@ BENCHMARK(BM_StageSolve)
     ->Args({4, 1})  // bicgstab + ilu0
     ->Args({4, 2});  // bicgstab + jacobi
 
+// Warm-started Krylov stage solve: x keeps the previous solution, so each
+// iteration after the first starts next to the answer — an upper bound on
+// the warm-start win (under ROS2 the seed is the other stage's k, not the
+// same system's own solution).
+void BM_StageSolveWarm(benchmark::State& state) {
+  const auto kind = static_cast<transport::StageSolverKind>(state.range(1));
+  auto system = make_system(static_cast<int>(state.range(0)), static_cast<int>(state.range(0)),
+                            kind, /*cache_stage=*/true, /*warm_start=*/true);
+  linalg::Vec u(system.dimension(), 0.5), f(system.dimension()), x;
+  system.rhs(0.0, u, f);
+  auto solver = system.prepare_stage(0.0, u, 0.01);
+  solver->solve(f, x);  // pay the cold solve once
+  for (auto _ : state) {
+    solver->solve(f, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetLabel(to_string(kind));
+}
+BENCHMARK(BM_StageSolveWarm)
+    ->Args({4, 1})  // bicgstab + ilu0
+    ->Args({4, 2});  // bicgstab + jacobi
+
 void BM_Ros2Subsolve(benchmark::State& state) {
   const grid::Grid2D g(2, static_cast<int>(state.range(0)), static_cast<int>(state.range(0)));
   transport::SubsolveConfig config;
@@ -86,6 +165,46 @@ void BM_Ros2Subsolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Ros2Subsolve)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+// Fused out = y + alpha*x with dot(out, out) in the same sweep...
+void BM_AxpyDotFused(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  linalg::Vec x(n, 0.25), y(n, 0.5), out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::axpy_dot(-0.3, x, y, out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AxpyDotFused)->Arg(1 << 12)->Arg(1 << 16);
+
+// ...versus the unfused copy + axpy + dot sequence it replaced in BiCGSTAB.
+void BM_AxpyDotSeparate(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  linalg::Vec x(n, 0.25), y(n, 0.5), out;
+  for (auto _ : state) {
+    out = y;
+    linalg::axpy(-0.3, x, out);
+    benchmark::DoNotOptimize(linalg::dot(out, out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AxpyDotSeparate)->Arg(1 << 12)->Arg(1 << 16);
+
+// Fused residual y = b - Ax versus multiply-then-subtract.
+void BM_MultiplySub(benchmark::State& state) {
+  auto system = make_system(static_cast<int>(state.range(0)), static_cast<int>(state.range(0)));
+  const auto& a = system.jacobian();
+  linalg::Vec x(a.cols(), 1.0), b(a.rows(), 2.0), y;
+  for (auto _ : state) {
+    linalg::multiply_sub(a, b, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_MultiplySub)->Arg(4)->Arg(5);
 
 void BM_Prolongate(benchmark::State& state) {
   const int level = static_cast<int>(state.range(0));

@@ -1,0 +1,166 @@
+// Perf smoke for the subsolve hot path: times prepare_stage on its three
+// cache paths (rebuild / refresh / hit), runs subsolve per solver kind and
+// level with the metrics registry capturing the assemble/factor/solve
+// decomposition, and compares warm- vs cold-started Krylov iteration
+// counts.  Emits one machine-readable report (see src/obs/report.hpp) so
+// the hot-path numbers in README/DESIGN are regenerable artifacts.
+//
+// Usage: perf_smoke [--out=PATH] [--max-level L] [--reps N]
+//
+// The default output path is BENCH_subsolve.json in the working directory;
+// the committed copy at the repo root is this tool's output on the dev
+// container.  Timings are wall-clock and machine-dependent; the report is
+// a smoke record, not a calibrated benchmark.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "grid/grid2d.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "support/stopwatch.hpp"
+#include "transport/subsolve.hpp"
+#include "transport/system.hpp"
+
+namespace {
+
+using namespace mg;
+
+double prepare_seconds(transport::TransportSystem& system, int reps, bool alternate) {
+  const linalg::Vec u(system.dimension(), 0.5);
+  support::Stopwatch clock;
+  for (int i = 0; i < reps; ++i) {
+    const double gamma_h = alternate && (i % 2 != 0) ? 0.02 : 0.01;
+    auto solver = system.prepare_stage(0.0, u, gamma_h);
+    static_cast<void>(solver);
+  }
+  return clock.elapsed_seconds() / reps;
+}
+
+transport::TransportSystem make_system(const grid::Grid2D& g, bool cache_stage) {
+  transport::SystemOptions options;
+  options.cache_stage = cache_stage;
+  return transport::TransportSystem(g, transport::TransportProblem{}, options);
+}
+
+std::uint64_t bicgstab_iterations(const grid::Grid2D& g, bool warm_start) {
+  transport::SubsolveConfig config;
+  config.system.solver = transport::StageSolverKind::BiCgStabIlu0;
+  config.system.warm_start = warm_start;
+  obs::registry().reset();
+  transport::subsolve(g, config);
+  return obs::registry().snapshot().counter_or("linalg.bicgstab_iterations");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_subsolve.json";
+  int max_level = 3;
+  int reps = 200;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+    if (std::strcmp(argv[i], "--max-level") == 0 && i + 1 < argc) max_level = std::atoi(argv[++i]);
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) reps = std::atoi(argv[++i]);
+  }
+
+  obs::RunReport report("perf_smoke");
+  report.config().begin_object();
+  report.config().kv("root", 2).kv("max_level", max_level).kv("reps", reps);
+  report.config().end_object();
+  report.derived().begin_object();
+
+  // --- prepare_stage: rebuild-every-step vs refresh vs hit ----------------------
+  {
+    const grid::Grid2D g(2, 4, 4);
+    auto rebuild_system = make_system(g, /*cache_stage=*/false);
+    auto cached_system = make_system(g, /*cache_stage=*/true);
+    const double rebuild = prepare_seconds(rebuild_system, reps, /*alternate=*/false);
+    const double refresh = prepare_seconds(cached_system, reps, /*alternate=*/true);
+    const double hit = prepare_seconds(cached_system, reps, /*alternate=*/false);
+    const double hit_speedup = hit > 0.0 ? rebuild / hit : 0.0;
+    const double refresh_speedup = refresh > 0.0 ? rebuild / refresh : 0.0;
+    std::printf("prepare_stage on G(2;4,4), banded LU, %d reps:\n", reps);
+    std::printf("  rebuild %.3g us  refresh %.3g us (%.1fx)  hit %.3g us (%.1fx)\n",
+                rebuild * 1e6, refresh * 1e6, refresh_speedup, hit * 1e6, hit_speedup);
+    report.derived().key("prepare_stage").begin_object();
+    report.derived().kv("grid", "G(2;4,4)").kv("solver", "banded-lu");
+    report.derived().kv("rebuild_seconds", rebuild);
+    report.derived().kv("refresh_seconds", refresh);
+    report.derived().kv("hit_seconds", hit);
+    report.derived().kv("refresh_speedup", refresh_speedup);
+    report.derived().kv("hit_speedup", hit_speedup);
+    report.derived().end_object();
+  }
+
+  // --- warm vs cold Krylov starts ----------------------------------------------
+  {
+    const grid::Grid2D g(2, 3, 3);
+    const std::uint64_t cold = bicgstab_iterations(g, /*warm_start=*/false);
+    const std::uint64_t warm = bicgstab_iterations(g, /*warm_start=*/true);
+    std::printf("bicgstab iterations on G(2;3,3), ilu0: cold %llu warm %llu\n",
+                static_cast<unsigned long long>(cold), static_cast<unsigned long long>(warm));
+    report.derived().key("warm_start").begin_object();
+    report.derived().kv("grid", "G(2;3,3)").kv("solver", "bicgstab+ilu0");
+    report.derived().kv("cold_iterations", cold).kv("warm_iterations", warm);
+    report.derived().end_object();
+  }
+
+  // --- subsolve per solver kind and level, with the stage decomposition ---------
+  const transport::StageSolverKind kinds[] = {transport::StageSolverKind::BandedLU,
+                                              transport::StageSolverKind::BiCgStabIlu0,
+                                              transport::StageSolverKind::BiCgStabJacobi};
+  report.derived().key("subsolve").begin_array();
+  for (const auto kind : kinds) {
+    for (int l = 1; l <= max_level; ++l) {
+      const grid::Grid2D g(2, l, l);
+      transport::SubsolveConfig config;
+      config.system.solver = kind;
+      obs::registry().reset();
+      const auto r = transport::subsolve(g, config);
+      const auto snap = obs::registry().snapshot();
+      const double hit_rate = snap.counter_ratio(
+          "linalg.stage_cache.hits",
+          {"linalg.stage_cache.hits", "linalg.stage_cache.misses",
+           "linalg.stage_cache.refreshes"});
+      std::printf("subsolve G(2;%d,%d) %-15s %8.3f ms  steps %4llu  hit rate %.2f\n", l, l,
+                  to_string(kind), r.elapsed_seconds * 1e3,
+                  static_cast<unsigned long long>(r.stats.accepted), hit_rate);
+      report.derived().begin_object();
+      report.derived().kv("grid", "G(2;" + std::to_string(l) + "," + std::to_string(l) + ")");
+      report.derived().kv("solver", to_string(kind));
+      report.derived().kv("elapsed_seconds", r.elapsed_seconds);
+      report.derived().kv("accepted_steps", r.stats.accepted);
+      report.derived().kv("stage_preparations", r.stats.stage_preparations);
+      report.derived().kv("assemble_seconds",
+                          snap.histograms.count("linalg.stage_assemble_seconds")
+                              ? snap.histograms.at("linalg.stage_assemble_seconds").sum
+                              : 0.0);
+      report.derived().kv("factor_seconds",
+                          snap.histograms.count("linalg.stage_factor_seconds")
+                              ? snap.histograms.at("linalg.stage_factor_seconds").sum
+                              : 0.0);
+      report.derived().kv("solve_seconds",
+                          snap.histograms.count("linalg.stage_solve_seconds")
+                              ? snap.histograms.at("linalg.stage_solve_seconds").sum
+                              : 0.0);
+      report.derived().kv("cache_hits", snap.counter_or("linalg.stage_cache.hits"));
+      report.derived().kv("cache_misses", snap.counter_or("linalg.stage_cache.misses"));
+      report.derived().kv("cache_refreshes", snap.counter_or("linalg.stage_cache.refreshes"));
+      report.derived().kv("cache_hit_rate", hit_rate);
+      report.derived().kv("bicgstab_iterations", snap.counter_or("linalg.bicgstab_iterations"));
+      report.derived().end_object();
+    }
+  }
+  report.derived().end_array();
+  report.derived().end_object();
+
+  if (!report.write(out_path)) {
+    std::fprintf(stderr, "perf_smoke: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("report written to %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,7 +1,9 @@
 #include "core/concurrent_solver.hpp"
 
+#include <algorithm>
 #include <future>
 #include <mutex>
+#include <numeric>
 
 #include "core/marshal.hpp"
 #include "core/master.hpp"
@@ -20,6 +22,18 @@ const char* to_string(DataPath p) {
   return "?";
 }
 
+std::vector<std::size_t> lpt_order(const std::vector<grid::CombinationTerm>& terms,
+                                   std::size_t first, std::size_t count) {
+  MG_REQUIRE(first + count <= terms.size());
+  std::vector<std::size_t> order(count);
+  std::iota(order.begin(), order.end(), first);
+  std::stable_sort(order.begin(), order.end(), [&terms](std::size_t a, std::size_t b) {
+    return transport::subsolve_payload_bytes(terms[a].grid) >
+           transport::subsolve_payload_bytes(terms[b].grid);
+  });
+  return order;
+}
+
 namespace {
 
 /// Shared state for the DataPath::SharedGlobal ablation: workers store their
@@ -35,14 +49,21 @@ struct SharedGlobalState {
 
 /// Runs one pool: creates `count` workers starting at term index `first`,
 /// charges each with its grid, collects results (ThroughMaster only), and
-/// holds the rendezvous.
+/// holds the rendezvous.  With `lpt`, grids go out heaviest-first.
 void run_pool(MasterApi& api, const transport::ProgramConfig& program,
               const std::vector<grid::CombinationTerm>& terms, std::size_t first,
-              std::size_t count, DataPath path, transport::GlobalData& data,
+              std::size_t count, bool lpt, DataPath path, transport::GlobalData& data,
               std::vector<transport::GridRunRecord>& records) {
   api.create_pool();  // master step 3(a)
   const transport::SubsolveConfig kernel = program.kernel_config();
-  for (std::size_t k = first; k < first + count; ++k) {
+  std::vector<std::size_t> order;
+  if (lpt) {
+    order = lpt_order(terms, first, count);
+  } else {
+    order.resize(count);
+    std::iota(order.begin(), order.end(), first);
+  }
+  for (std::size_t k : order) {
     api.create_worker();  // steps 3(b)+(c)
     const grid::Grid2D& g = terms[k].grid;
     api.send_work(iwim::Unit::of(WorkItem{k, g.root(), g.lx(), g.ly(), kernel}));  // step 3(d)
@@ -61,7 +82,10 @@ void run_pool(MasterApi& api, const transport::ProgramConfig& program,
           // the grid itself, so the combined result is still bit-identical
           // to the sequential program.
           const auto& ab = unit.as<WorkAbandoned>();
-          const std::size_t idx = first + ab.pool_slot;
+          // pool_slot is the worker's creation order, i.e. a position in the
+          // dispatch order — not a term offset (they differ under LPT).
+          MG_ASSERT(ab.pool_slot < order.size());
+          const std::size_t idx = order[ab.pool_slot];
           MG_ASSERT(idx < terms.size());
           support::Stopwatch local;
           transport::SubsolveResult r = transport::subsolve(terms[idx].grid, kernel);
@@ -134,11 +158,13 @@ ConcurrentResult solve_concurrent(const transport::ProgramConfig& program,
         if (options.pool_per_family && program.level >= 1) {
           // Family lm = level-1 occupies terms [0, level); lm = level the rest.
           const std::size_t lower = static_cast<std::size_t>(program.level);
-          run_pool(api, program, terms, 0, lower, options.data_path, data, records);
-          run_pool(api, program, terms, lower, terms.size() - lower, options.data_path, data,
+          run_pool(api, program, terms, 0, lower, options.lpt_schedule, options.data_path, data,
                    records);
+          run_pool(api, program, terms, lower, terms.size() - lower, options.lpt_schedule,
+                   options.data_path, data, records);
         } else {
-          run_pool(api, program, terms, 0, terms.size(), options.data_path, data, records);
+          run_pool(api, program, terms, 0, terms.size(), options.lpt_schedule, options.data_path,
+                   data, records);
         }
         api.finished();  // master step 4
         const double subsolve_seconds = phase.elapsed_seconds();

@@ -47,8 +47,20 @@ enum class DataPath {
 
 const char* to_string(DataPath p);
 
+/// Longest-processing-time dispatch order for terms [first, first+count):
+/// indices sorted by descending subsolve work weight — the paper's MLINK
+/// `weight`/`load` notion, derived from subsolve_payload_bytes — with the
+/// original index as a deterministic tie-break.  Sending heavy grids first
+/// shrinks the pool's makespan tail when task slots are scarcer than grids.
+std::vector<std::size_t> lpt_order(const std::vector<grid::CombinationTerm>& terms,
+                                   std::size_t first, std::size_t count);
+
 struct ConcurrentOptions {
   bool pool_per_family = false;  ///< one pool per lm family instead of one pool total
+  /// Dispatch grids in lpt_order (heaviest first) instead of term order.
+  /// Results are keyed by term index, so the combined output is unchanged;
+  /// only the pool's completion profile moves.
+  bool lpt_schedule = true;
   DataPath data_path = DataPath::ThroughMaster;
   /// Round-trip every work/result unit through the wire codec (core/marshal)
   /// to emulate the cross-machine transport of a distributed run; results

@@ -26,6 +26,20 @@ BandedMatrix BandedMatrix::from_csr(const CsrMatrix& a, std::size_t half_bandwid
   return band;
 }
 
+void BandedMatrix::assign_shifted_csr(const CsrMatrix& a, double scale_diag, double scale_a) {
+  MG_REQUIRE(a.rows() == n_ && a.cols() == n_);
+  std::fill(data_.begin(), data_.end(), 0.0);
+  factorized_ = false;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t k = a.row_ptr()[i]; k < a.row_ptr()[i + 1]; ++k) {
+      const std::size_t j = a.col_idx()[k];
+      MG_REQUIRE_MSG(in_band(i, j), "CSR entry outside declared bandwidth");
+      data_[idx(i, j)] = scale_a * a.values()[k];
+    }
+    data_[idx(i, i)] += scale_diag;
+  }
+}
+
 std::size_t BandedMatrix::idx(std::size_t i, std::size_t j) const {
   return i * (2 * hb_ + 1) + (j + hb_ - i);
 }

@@ -23,6 +23,13 @@ class BandedMatrix {
   /// Builds from a CSR matrix; requires every stored entry to lie in band.
   static BandedMatrix from_csr(const CsrMatrix& a, std::size_t half_bandwidth);
 
+  /// Refills the band in place with I*scale_diag + A*scale_a (the Rosenbrock
+  /// stage matrix when called with (J, 1, -gamma*h)) and clears the
+  /// factorised flag so factorize() can run again — the allocation-free
+  /// equivalent of from_csr(shifted_identity(a, ...), hb).  Requires
+  /// a.rows() == size() and every entry of `a` in band.
+  void assign_shifted_csr(const CsrMatrix& a, double scale_diag, double scale_a);
+
   std::size_t size() const { return n_; }
   std::size_t half_bandwidth() const { return hb_; }
 

@@ -36,7 +36,7 @@ struct SolveScope {
 }  // namespace
 
 SolveReport bicgstab(const CsrMatrix& a, const Vec& b, Vec& x, const Preconditioner& m,
-                     const SolveOptions& opts) {
+                     const SolveOptions& opts, KrylovWorkspace* ws) {
   MG_REQUIRE(a.rows() == a.cols());
   MG_REQUIRE(b.size() == a.rows());
   const std::size_t n = a.rows();
@@ -48,8 +48,13 @@ SolveReport bicgstab(const CsrMatrix& a, const Vec& b, Vec& x, const Preconditio
   const double bnorm = norm2(b);
   const double target = std::max(opts.abs_tol, opts.rel_tol * bnorm);
 
-  Vec r(n), r0(n), p(n, 0.0), v(n, 0.0), s(n), t(n), phat(n), shat(n), tmp(n);
-  a.residual(b, x, r);
+  KrylovWorkspace local;
+  KrylovWorkspace& w = ws ? *ws : local;
+  Vec &r = w.r, &r0 = w.r0, &p = w.p, &v = w.v, &s = w.s, &t = w.t;
+  Vec &phat = w.phat, &shat = w.shat, &tmp = w.tmp;
+  p.resize(n);
+  v.resize(n);
+  multiply_sub(a, b, x, r);
   r0 = r;
   double rnorm = norm2(r);
   if (rnorm <= target) {
@@ -74,10 +79,11 @@ SolveReport bicgstab(const CsrMatrix& a, const Vec& b, Vec& x, const Preconditio
     const double r0v = dot(r0, v);
     if (std::abs(r0v) < 1e-300) break;  // breakdown
     alpha = rho / r0v;
-    for (std::size_t i = 0; i < n; ++i) s[i] = r[i] - alpha * v[i];
-    if (norm2(s) <= target) {
+    // s = r - alpha * v, with ||s||^2 folded into the same sweep.
+    const double snorm2 = axpy_dot(-alpha, v, r, s);
+    if (std::sqrt(snorm2) <= target) {
       axpy(alpha, phat, x);
-      a.residual(b, x, tmp);
+      multiply_sub(a, b, x, tmp);
       report.converged = true;
       report.iterations = it;
       report.residual_norm = norm2(tmp);
@@ -85,17 +91,16 @@ SolveReport bicgstab(const CsrMatrix& a, const Vec& b, Vec& x, const Preconditio
     }
     m.apply(s, shat);
     a.multiply(shat, t);
-    const double tt = dot(t, t);
+    double tt, ts;
+    dot2(t, t, s, tt, ts);
     if (tt < 1e-300) break;  // breakdown
-    omega = dot(t, s) / tt;
-    for (std::size_t i = 0; i < n; ++i) {
-      x[i] += alpha * phat[i] + omega * shat[i];
-      r[i] = s[i] - omega * t[i];
-    }
-    rnorm = norm2(r);
+    omega = ts / tt;
+    for (std::size_t i = 0; i < n; ++i) x[i] += alpha * phat[i] + omega * shat[i];
+    // r = s - omega * t, again with the norm folded in.
+    rnorm = std::sqrt(axpy_dot(-omega, t, s, r));
     report.iterations = it;
     if (rnorm <= target) {
-      a.residual(b, x, tmp);
+      multiply_sub(a, b, x, tmp);
       report.converged = true;
       report.residual_norm = norm2(tmp);
       return report;
@@ -103,7 +108,7 @@ SolveReport bicgstab(const CsrMatrix& a, const Vec& b, Vec& x, const Preconditio
     if (std::abs(omega) < 1e-300) break;  // breakdown
     rho_prev = rho;
   }
-  a.residual(b, x, tmp);
+  multiply_sub(a, b, x, tmp);
   report.residual_norm = norm2(tmp);
   report.converged = report.residual_norm <= target;
   return report;

@@ -22,9 +22,20 @@ struct SolveReport {
   double residual_norm = 0.0;  ///< final true-residual norm
 };
 
-/// Solves A x = b starting from the supplied x (used as initial guess).
-/// The preconditioner must correspond to (an approximation of) A.
+/// Scratch vectors for bicgstab().  Hoisted out of the solve so a caller
+/// that solves many same-sized systems (two stage solves per Rosenbrock
+/// step) pays for the nine allocations once, not per call.  Buffers are
+/// resized on entry and fully overwritten before use; contents between
+/// calls never influence the result.
+struct KrylovWorkspace {
+  Vec r, r0, p, v, s, t, phat, shat, tmp;
+};
+
+/// Solves A x = b starting from the supplied x (used as initial guess; a
+/// wrongly-sized x is reset to zero).  The preconditioner must correspond
+/// to (an approximation of) A.  Pass a KrylovWorkspace to reuse scratch
+/// storage across calls; with ws == nullptr a local workspace is allocated.
 SolveReport bicgstab(const CsrMatrix& a, const Vec& b, Vec& x, const Preconditioner& m,
-                     const SolveOptions& opts = {});
+                     const SolveOptions& opts = {}, KrylovWorkspace* ws = nullptr);
 
 }  // namespace mg::linalg

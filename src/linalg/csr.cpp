@@ -24,28 +24,49 @@ CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols, std::vector<std::size_t
 
 void CsrMatrix::multiply(const Vec& x, Vec& y) const {
   MG_REQUIRE(x.size() == cols_);
-  y.assign(rows_, 0.0);
+  y.resize(rows_);
+  const std::size_t* __restrict rp = row_ptr_.data();
+  const std::size_t* __restrict ci = col_idx_.data();
+  const double* __restrict va = values_.data();
+  const double* __restrict xp = x.data();
+  double* __restrict yp = y.data();
   for (std::size_t i = 0; i < rows_; ++i) {
     double s = 0.0;
-    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) s += values_[k] * x[col_idx_[k]];
-    y[i] = s;
+    for (std::size_t k = rp[i]; k < rp[i + 1]; ++k) s += va[k] * xp[ci[k]];
+    yp[i] = s;
   }
 }
 
 void CsrMatrix::residual(const Vec& b, const Vec& x, Vec& y) const {
-  MG_REQUIRE(b.size() == rows_ && x.size() == cols_);
-  y.resize(rows_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    double s = b[i];
-    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) s -= values_[k] * x[col_idx_[k]];
-    y[i] = s;
-  }
+  multiply_sub(*this, b, x, y);
 }
 
 Vec CsrMatrix::diagonal() const {
   Vec d(rows_, 0.0);
-  for (std::size_t i = 0; i < rows_ && i < cols_; ++i) d[i] = at(i, i);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const std::size_t j = col_idx_[k];
+      if (j >= i) {
+        if (j == i) d[i] = values_[k];
+        break;  // columns are sorted: nothing at or before the diagonal left
+      }
+    }
+  }
   return d;
+}
+
+std::vector<std::size_t> CsrMatrix::diagonal_offsets() const {
+  std::vector<std::size_t> offsets(rows_, kNoDiagonal);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const std::size_t j = col_idx_[k];
+      if (j >= i) {
+        if (j == i) offsets[i] = k;
+        break;
+      }
+    }
+  }
+  return offsets;
 }
 
 double CsrMatrix::at(std::size_t i, std::size_t j) const {
@@ -132,6 +153,23 @@ CsrMatrix shifted_identity(const CsrMatrix& a, double scale_diag, double scale_a
     row_ptr[i + 1] = col_idx.size();
   }
   return CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx), std::move(values));
+}
+
+void multiply_sub(const CsrMatrix& a, const Vec& b, const Vec& x, Vec& y) {
+  MG_REQUIRE(b.size() == a.rows() && x.size() == a.cols());
+  y.resize(a.rows());
+  const std::size_t rows = a.rows();
+  const std::size_t* __restrict rp = a.row_ptr().data();
+  const std::size_t* __restrict ci = a.col_idx().data();
+  const double* __restrict va = a.values().data();
+  const double* __restrict bp = b.data();
+  const double* __restrict xp = x.data();
+  double* __restrict yp = y.data();
+  for (std::size_t i = 0; i < rows; ++i) {
+    double s = bp[i];
+    for (std::size_t k = rp[i]; k < rp[i + 1]; ++k) s -= va[k] * xp[ci[k]];
+    yp[i] = s;
+  }
 }
 
 }  // namespace mg::linalg

@@ -32,14 +32,23 @@ class CsrMatrix {
   const std::vector<double>& values() const { return values_; }
   std::vector<double>& values() { return values_; }
 
-  /// y = A * x.
+  /// y = A * x.  `y` is resized and every entry overwritten (no zero-fill
+  /// pass); it must not alias `x`.
   void multiply(const Vec& x, Vec& y) const;
 
   /// y = b - A * x.
   void residual(const Vec& b, const Vec& x, Vec& y) const;
 
   /// Returns the main diagonal; zero where a row has no diagonal entry.
+  /// Single ordered pass over the stored entries — no per-row probing.
   Vec diagonal() const;
+
+  /// Sentinel for rows without a structural diagonal in diagonal_offsets().
+  static constexpr std::size_t kNoDiagonal = static_cast<std::size_t>(-1);
+
+  /// Value-array index of each row's diagonal entry (kNoDiagonal where the
+  /// row has none).  Precompute once to update diagonals in place each step.
+  std::vector<std::size_t> diagonal_offsets() const;
 
   /// Value at (i, j); zero if not stored.  Binary search within the row.
   double at(std::size_t i, std::size_t j) const;
@@ -85,5 +94,10 @@ class CsrBuilder {
 /// Returns I*scale_diag + A*scale_a with the pattern of A plus the diagonal.
 /// Used to form the Rosenbrock stage matrix (I - gamma*h*J) from J.
 CsrMatrix shifted_identity(const CsrMatrix& a, double scale_diag, double scale_a);
+
+/// y = b - A * x, folded into one SpMV sweep.  `y` is resized; it must not
+/// alias `b` or `x`.  CsrMatrix::residual delegates here; BiCGSTAB calls it
+/// directly for its true-residual checks.
+void multiply_sub(const CsrMatrix& a, const Vec& b, const Vec& x, Vec& y);
 
 }  // namespace mg::linalg

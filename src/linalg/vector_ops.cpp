@@ -19,6 +19,37 @@ void axpby(double alpha, const Vec& x, double beta, Vec& y) {
   for (std::size_t i = 0; i < n; ++i) y[i] = alpha * x[i] + beta * y[i];
 }
 
+double axpy_dot(double alpha, const Vec& x, const Vec& y, Vec& out) {
+  MG_REQUIRE(x.size() == y.size());
+  out.resize(x.size());
+  const std::size_t n = x.size();
+  const double* __restrict xp = x.data();
+  const double* __restrict yp = y.data();
+  double* __restrict op = out.data();
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = yp[i] + alpha * xp[i];
+    op[i] = v;
+    s += v * v;
+  }
+  return s;
+}
+
+void dot2(const Vec& a, const Vec& b, const Vec& c, double& ab, double& ac) {
+  MG_REQUIRE(a.size() == b.size() && a.size() == c.size());
+  const std::size_t n = a.size();
+  const double* __restrict ap = a.data();
+  const double* __restrict bp = b.data();
+  const double* __restrict cp = c.data();
+  double sab = 0.0, sac = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sab += ap[i] * bp[i];
+    sac += ap[i] * cp[i];
+  }
+  ab = sab;
+  ac = sac;
+}
+
 double dot(const Vec& a, const Vec& b) {
   MG_REQUIRE(a.size() == b.size());
   double s = 0.0;

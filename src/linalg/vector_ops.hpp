@@ -17,6 +17,16 @@ void axpy(double alpha, const Vec& x, Vec& y);
 /// y = alpha * x + beta * y.  Sizes must match.
 void axpby(double alpha, const Vec& x, double beta, Vec& y);
 
+/// Fused axpy + squared norm: out = y + alpha * x, returns dot(out, out).
+/// One sweep where an axpy followed by a dot would take two — the BiCGSTAB
+/// loop uses it for the s/r updates whose norms feed the convergence test.
+/// `out` is resized; it must not alias `x` or `y`.
+double axpy_dot(double alpha, const Vec& x, const Vec& y, Vec& out);
+
+/// Two inner products sharing the left operand in one sweep:
+/// ab = dot(a, b), ac = dot(a, c).  Sizes must match.
+void dot2(const Vec& a, const Vec& b, const Vec& c, double& ab, double& ac);
+
 /// Euclidean inner product.
 double dot(const Vec& a, const Vec& b);
 

@@ -51,6 +51,14 @@ double MetricsSnapshot::gauge_or(const std::string& name, double fallback) const
   return it == gauges.end() ? fallback : it->second;
 }
 
+double MetricsSnapshot::counter_ratio(const std::string& numerator,
+                                      std::initializer_list<std::string> denominators) const {
+  std::uint64_t total = 0;
+  for (const auto& name : denominators) total += counter_or(name);
+  if (total == 0) return 0.0;
+  return static_cast<double>(counter_or(numerator)) / static_cast<double>(total);
+}
+
 Counter& Registry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);

@@ -100,6 +100,12 @@ struct MetricsSnapshot {
 
   std::uint64_t counter_or(const std::string& name, std::uint64_t fallback = 0) const;
   double gauge_or(const std::string& name, double fallback = 0.0) const;
+
+  /// numerator / sum(denominators) over counters; 0 when the denominator is
+  /// zero.  Derived-rate helper (e.g. stage-cache hit rate = hits over
+  /// hits+misses+refreshes) for reports and benches.
+  double counter_ratio(const std::string& numerator,
+                       std::initializer_list<std::string> denominators) const;
 };
 
 /// Name -> metric map.  Registration locks; metric updates never do.

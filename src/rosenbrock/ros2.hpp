@@ -29,6 +29,13 @@ struct Ros2Options {
   double shrink_limit = 0.3;
   std::size_t max_steps = 1'000'000;
   bool fixed_step = false;  ///< integrate with constant h0 (for order tests)
+  /// Warm-start the stage solves: k1/k2 are kept across steps so an
+  /// iterative StageSolver that honours its incoming x starts from the
+  /// previous step's stage solution, and k2 is seeded from this step's k1
+  /// before the stage-2 solve.  Direct stage solvers ignore the seed, so
+  /// their results are unchanged; iterative solvers converge to the same
+  /// tolerance in (usually) fewer iterations.
+  bool warm_start = false;
 };
 
 struct Ros2Stats {

@@ -1,0 +1,364 @@
+// Tests for the subsolve hot-path overhaul: the stage-matrix cache
+// (hit/miss/refresh semantics, bit-identity with the rebuild-every-step
+// reference path), Krylov warm starts, the in-place shifted-assembly
+// primitive, and the LPT dispatch order.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/concurrent_solver.hpp"
+#include "grid/combination.hpp"
+#include "grid/grid2d.hpp"
+#include "linalg/csr.hpp"
+#include "obs/metrics.hpp"
+#include "rosenbrock/ros2.hpp"
+#include "transport/seq_solver.hpp"
+#include "transport/subsolve.hpp"
+#include "transport/system.hpp"
+
+namespace {
+
+using namespace mg;
+using transport::StageSolverKind;
+using transport::SubsolveConfig;
+using transport::SystemOptions;
+using transport::TransportSystem;
+
+SubsolveConfig config_for(StageSolverKind kind, bool cache, bool warm) {
+  SubsolveConfig config;
+  config.le_tol = 1e-4;
+  config.system.solver = kind;
+  config.system.cache_stage = cache;
+  config.system.warm_start = warm;
+  return config;
+}
+
+// ---- bit-identity with the rebuild-every-step reference path ---------------------
+
+class StageCacheKinds : public ::testing::TestWithParam<StageSolverKind> {};
+
+// The tentpole's acceptance bar: caching the stage matrix and its factors
+// must not change a single bit of the trajectory, for any solver kind, over
+// an adaptive run whose step size (and hence gamma*h) genuinely varies.
+TEST_P(StageCacheKinds, CachedRunIsBitIdenticalToRebuildEveryStep) {
+  const grid::Grid2D g(2, 3, 2);
+  const auto cached = transport::subsolve(g, config_for(GetParam(), true, true));
+  const auto rebuilt = transport::subsolve(g, config_for(GetParam(), false, true));
+  EXPECT_EQ(cached.solution.max_diff(rebuilt.solution), 0.0);
+  EXPECT_EQ(cached.stats.accepted, rebuilt.stats.accepted);
+  EXPECT_EQ(cached.stats.rejected, rebuilt.stats.rejected);
+  EXPECT_EQ(cached.stats.stage_preparations, rebuilt.stats.stage_preparations);
+  EXPECT_EQ(cached.stats.stage_solves, rebuilt.stats.stage_solves);
+  EXPECT_EQ(cached.stats.final_h, rebuilt.stats.final_h);
+}
+
+// Warm starting only moves Krylov iteration counts; the accept/reject
+// trajectory is driven by the converged stage solutions, which stay inside
+// the same tolerance, and the direct solver ignores the seed entirely.
+TEST_P(StageCacheKinds, WarmAndColdStartsBothConvergeToTheBandedReference) {
+  const grid::Grid2D g(2, 2, 2);
+  SubsolveConfig banded = config_for(StageSolverKind::BandedLU, true, true);
+  SubsolveConfig warm = config_for(GetParam(), true, true);
+  SubsolveConfig cold = config_for(GetParam(), true, false);
+  warm.system.krylov.rel_tol = cold.system.krylov.rel_tol = 1e-12;
+  const auto reference = transport::subsolve(g, banded);
+  EXPECT_LT(transport::subsolve(g, warm).solution.max_diff(reference.solution), 1e-6);
+  EXPECT_LT(transport::subsolve(g, cold).solution.max_diff(reference.solution), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, StageCacheKinds,
+                         ::testing::Values(StageSolverKind::BandedLU,
+                                           StageSolverKind::BiCgStabIlu0,
+                                           StageSolverKind::BiCgStabJacobi),
+                         [](const auto& info) -> std::string {
+                           switch (info.param) {
+                             case StageSolverKind::BandedLU: return "BandedLU";
+                             case StageSolverKind::BiCgStabIlu0: return "BiCgStabIlu0";
+                             case StageSolverKind::BiCgStabJacobi: return "BiCgStabJacobi";
+                           }
+                           return "Unknown";
+                         });
+
+// ---- hit / miss / refresh ledger -------------------------------------------------
+
+TEST(StageCache, CountsHitsMissesAndRefreshes) {
+  const grid::Grid2D g(2, 2, 2);
+  SystemOptions options;
+  options.cache_stage = true;
+  TransportSystem system(g, transport::TransportProblem{}, options);
+  const ros::Vec u(system.dimension(), 0.0);
+
+  auto s1 = system.prepare_stage(0.0, u, 1e-3);  // first build: miss
+  auto s2 = system.prepare_stage(0.0, u, 1e-3);  // same gamma*h: hit
+  auto s3 = system.prepare_stage(0.0, u, 1e-3);  // still unchanged: hit
+  auto s4 = system.prepare_stage(0.0, u, 5e-4);  // step size changed: refresh
+  auto s5 = system.prepare_stage(0.0, u, 5e-4);  // unchanged again: hit
+
+  const auto& stats = system.stage_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.refreshes, 1u);
+}
+
+TEST(StageCache, DisabledCacheCountsEveryPreparationAsAMiss) {
+  const grid::Grid2D g(2, 2, 2);
+  SystemOptions options;
+  options.cache_stage = false;
+  TransportSystem system(g, transport::TransportProblem{}, options);
+  const ros::Vec u(system.dimension(), 0.0);
+
+  auto s1 = system.prepare_stage(0.0, u, 1e-3);
+  auto s2 = system.prepare_stage(0.0, u, 1e-3);
+
+  const auto& stats = system.stage_cache_stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.refreshes, 0u);
+}
+
+// A refreshed (or reused) cached solver must produce the same bits as a
+// freshly rebuilt one on the same right-hand side, for every solver kind
+// and across a gamma*h change.
+TEST_P(StageCacheKinds, CachedSolverMatchesRebuiltSolverBitwise) {
+  const grid::Grid2D g(2, 2, 2);
+  SystemOptions cache_on;
+  cache_on.solver = GetParam();
+  cache_on.cache_stage = true;
+  cache_on.warm_start = false;  // isolate the assembly path from the seed
+  SystemOptions cache_off = cache_on;
+  cache_off.cache_stage = false;
+  TransportSystem cached(g, transport::TransportProblem{}, cache_on);
+  TransportSystem rebuilt(g, transport::TransportProblem{}, cache_off);
+
+  const ros::Vec u(cached.dimension(), 0.0);
+  ros::Vec rhs(cached.dimension());
+  for (std::size_t i = 0; i < rhs.size(); ++i) {
+    rhs[i] = 1.0 / static_cast<double>(i + 1);
+  }
+
+  // miss, hit, then refresh on the cached side; fresh build every time on
+  // the reference side.
+  for (double gamma_h : {2e-3, 2e-3, 7e-4}) {
+    auto a = cached.prepare_stage(0.0, u, gamma_h);
+    auto b = rebuilt.prepare_stage(0.0, u, gamma_h);
+    ros::Vec xa, xb;
+    a->solve(rhs, xa);
+    b->solve(rhs, xb);
+    ASSERT_EQ(xa.size(), xb.size());
+    for (std::size_t i = 0; i < xa.size(); ++i) {
+      ASSERT_EQ(xa[i], xb[i]) << "component " << i << " at gamma*h = " << gamma_h;
+    }
+  }
+  EXPECT_EQ(cached.stage_cache_stats().hits, 1u);
+  EXPECT_EQ(cached.stage_cache_stats().refreshes, 1u);
+}
+
+// A free-running adaptive solve rescales h every step, so the cache lives
+// on the refresh path: one first build, then in-place value updates — and
+// every preparation lands in exactly one ledger bucket.
+TEST(StageCache, AdaptiveRunRefreshesInPlace) {
+  const grid::Grid2D g(2, 3, 3);
+  const auto config = config_for(StageSolverKind::BandedLU, true, true);
+  obs::registry().reset();
+  const auto result = transport::subsolve(g, config);
+  const auto snap = obs::registry().snapshot();
+  const std::uint64_t hits = snap.counter_or("linalg.stage_cache.hits");
+  const std::uint64_t misses = snap.counter_or("linalg.stage_cache.misses");
+  const std::uint64_t refreshes = snap.counter_or("linalg.stage_cache.refreshes");
+  EXPECT_EQ(hits + misses + refreshes, result.stats.stage_preparations);
+  EXPECT_EQ(misses, 1u);     // one first build per subsolve
+  EXPECT_GT(refreshes, 0u);  // the controller moved h, invalidating the factors
+}
+
+// When the step size saturates (here: a fixed-step run; an h_max-limited
+// adaptive run behaves the same) gamma*h repeats and the factors are reused
+// outright — the cache-hit path the prepare_stage bench measures.
+TEST(StageCache, SaturatedStepSizeReusesFactorsOutright) {
+  const grid::Grid2D g(2, 2, 2);
+  SystemOptions options;
+  options.cache_stage = true;
+  TransportSystem system(g, transport::TransportProblem{}, options);
+
+  ros::Ros2Options opts;
+  opts.t0 = 0.0;
+  opts.t1 = 0.1;
+  opts.h0 = 0.005;
+  opts.fixed_step = true;
+  ros::Vec u = system.restrict_interior(grid::Field(g));
+  obs::registry().reset();
+  const auto stats = ros::integrate(system, u, opts);
+
+  const auto& cache = system.stage_cache_stats();
+  EXPECT_EQ(cache.misses, 1u);
+  // The last step may be truncated to land exactly on t1, costing at most
+  // one refresh; every other step reuses the factors outright.
+  EXPECT_LE(cache.refreshes, 1u);
+  EXPECT_GE(cache.hits, stats.stage_preparations - 2);
+  EXPECT_EQ(cache.hits + cache.misses + cache.refreshes, stats.stage_preparations);
+  const double rate = obs::registry().snapshot().counter_ratio(
+      "linalg.stage_cache.hits",
+      {"linalg.stage_cache.hits", "linalg.stage_cache.misses",
+       "linalg.stage_cache.refreshes"});
+  EXPECT_GT(rate, 0.5);
+}
+
+// ---- warm starts -----------------------------------------------------------------
+
+TEST(WarmStart, ReducesBicgstabIterationsAtUnchangedTolerance) {
+  const grid::Grid2D g(2, 3, 3);
+  obs::registry().reset();
+  transport::subsolve(g, config_for(StageSolverKind::BiCgStabIlu0, true, false));
+  const std::uint64_t cold =
+      obs::registry().snapshot().counter_or("linalg.bicgstab_iterations");
+  obs::registry().reset();
+  transport::subsolve(g, config_for(StageSolverKind::BiCgStabIlu0, true, true));
+  const std::uint64_t warm =
+      obs::registry().snapshot().counter_or("linalg.bicgstab_iterations");
+  EXPECT_GT(cold, 0u);
+  EXPECT_LE(warm, cold);
+}
+
+// ---- the in-place assembly primitive ---------------------------------------------
+
+// The cache's value-refresh path writes scale_a*v into every slot and adds
+// the shift at the diagonal offset; that must reproduce shifted_identity
+// bit for bit (IEEE addition is commutative) on the Jacobian's own pattern.
+TEST(StageCache, InPlaceShiftedValuesMatchShiftedIdentityBitwise) {
+  const grid::Grid2D g(2, 2, 3);
+  TransportSystem system(g, transport::TransportProblem{}, SystemOptions{});
+  const linalg::CsrMatrix& jac = system.jacobian();
+  const double gamma_h = 3.7e-3;
+
+  const linalg::CsrMatrix reference = linalg::shifted_identity(jac, 1.0, -gamma_h);
+  linalg::CsrMatrix in_place = jac;
+  const auto diag = jac.diagonal_offsets();
+  auto& values = in_place.values();
+  for (std::size_t k = 0; k < values.size(); ++k) values[k] = -gamma_h * jac.values()[k];
+  for (std::size_t i = 0; i < jac.rows(); ++i) {
+    ASSERT_NE(diag[i], linalg::CsrMatrix::kNoDiagonal);
+    values[diag[i]] += 1.0;
+  }
+
+  ASSERT_EQ(reference.values().size(), in_place.values().size());
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    ASSERT_EQ(reference.values()[k], in_place.values()[k]) << "slot " << k;
+  }
+}
+
+TEST(CsrDiagonal, SinglePassDiagonalMatchesOffsets) {
+  const grid::Grid2D g(2, 2, 2);
+  TransportSystem system(g, transport::TransportProblem{}, SystemOptions{});
+  const linalg::CsrMatrix& jac = system.jacobian();
+  const auto diag = jac.diagonal();
+  const auto offsets = jac.diagonal_offsets();
+  ASSERT_EQ(diag.size(), jac.rows());
+  ASSERT_EQ(offsets.size(), jac.rows());
+  for (std::size_t i = 0; i < jac.rows(); ++i) {
+    ASSERT_NE(offsets[i], linalg::CsrMatrix::kNoDiagonal);
+    EXPECT_EQ(jac.values()[offsets[i]], diag[i]);
+    EXPECT_EQ(jac.col_idx()[offsets[i]], i);
+  }
+}
+
+// ---- cache + warm start through the fault-tolerant concurrent path ---------------
+
+// The recompute paths (worker respawn, master-local fallback) construct
+// fresh TransportSystems, so each retry re-seeds its own cache; the result
+// must stay bit-identical to the fault-free sequential program with the
+// full hot-path configuration (cache + warm start + Krylov) engaged.
+TEST(StageCache, FaultRecomputePathsStayBitExactWithCacheAndWarmStart) {
+  transport::ProgramConfig program;
+  program.root = 2;
+  program.level = 2;
+  program.kernel.system.solver = StageSolverKind::BiCgStabIlu0;
+  program.kernel.system.cache_stage = true;
+  program.kernel.system.warm_start = true;
+  const auto seq = transport::solve_sequential(program);
+
+  mw::ConcurrentOptions options;
+  options.faults.seed = 404;
+  options.faults.crash = 0.4;
+  options.retry = fault::RetryPolicy{};
+  options.retry->max_attempts = 8;
+  options.retry->backoff_initial = std::chrono::milliseconds(2);
+  const auto conc = mw::solve_concurrent(program, options);
+
+  EXPECT_GT(conc.protocol.faults.crashes_injected, 0u);
+  EXPECT_EQ(conc.solve.combined.max_diff(seq.combined), 0.0);
+}
+
+// Regression: the degraded-pool fallback receives the abandoned worker's
+// *creation slot*, which under LPT dispatch is a position in the reordered
+// dispatch sequence, not a term offset.  With every slot abandoned
+// (respawn budget 0) at a level where grid weights genuinely differ, a
+// slot-to-term mix-up recomputes the wrong grids and the run cannot
+// complete bit-exactly.
+TEST(StageCache, AbandonedSlotsMapBackToTheRightTermsUnderLpt) {
+  transport::ProgramConfig program;
+  program.root = 2;
+  program.level = 2;
+  const auto seq = transport::solve_sequential(program);
+
+  mw::ConcurrentOptions options;
+  options.lpt_schedule = true;
+  options.faults.seed = 9;
+  options.faults.crash = 1.0;  // every incarnation crashes
+  options.retry = fault::RetryPolicy{};
+  options.retry->respawn_budget = 0;
+  const auto conc = mw::solve_concurrent(program, options);
+
+  EXPECT_TRUE(conc.protocol.faults.degraded);
+  EXPECT_EQ(conc.protocol.faults.abandoned, grid::component_count(program.level));
+  EXPECT_EQ(conc.solve.combined.max_diff(seq.combined), 0.0);
+}
+
+// ---- LPT dispatch order ----------------------------------------------------------
+
+TEST(LptOrder, SortsByDescendingPayloadWithStableTieBreak) {
+  const auto terms = grid::combination_terms(2, 3);
+  const auto order = mw::lpt_order(terms, 0, terms.size());
+  ASSERT_EQ(order.size(), terms.size());
+
+  std::vector<bool> seen(terms.size(), false);
+  for (std::size_t k : order) {
+    ASSERT_LT(k, terms.size());
+    EXPECT_FALSE(seen[k]);  // a permutation: every term exactly once
+    seen[k] = true;
+  }
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const std::size_t prev = transport::subsolve_payload_bytes(terms[order[i - 1]].grid);
+    const std::size_t cur = transport::subsolve_payload_bytes(terms[order[i]].grid);
+    EXPECT_GE(prev, cur);
+    if (prev == cur) {
+      EXPECT_LT(order[i - 1], order[i]);  // stable tie-break
+    }
+  }
+}
+
+TEST(LptOrder, RespectsTheRequestedWindow) {
+  const auto terms = grid::combination_terms(2, 3);
+  const std::size_t first = 1, count = terms.size() - 2;
+  const auto order = mw::lpt_order(terms, first, count);
+  ASSERT_EQ(order.size(), count);
+  for (std::size_t k : order) {
+    EXPECT_GE(k, first);
+    EXPECT_LT(k, first + count);
+  }
+}
+
+TEST(LptOrder, ReorderingDoesNotChangeTheConcurrentResult) {
+  transport::ProgramConfig program;
+  program.root = 2;
+  program.level = 2;
+  mw::ConcurrentOptions in_order;
+  in_order.lpt_schedule = false;
+  mw::ConcurrentOptions heaviest_first;
+  heaviest_first.lpt_schedule = true;
+  const auto a = mw::solve_concurrent(program, in_order);
+  const auto b = mw::solve_concurrent(program, heaviest_first);
+  EXPECT_EQ(a.solve.combined.max_diff(b.solve.combined), 0.0);
+}
+
+}  // namespace
