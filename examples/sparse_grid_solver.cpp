@@ -6,6 +6,8 @@
 //
 // Usage mirrors the paper's command line (§3: root, level, le_tol):
 //   sparse_grid_solver [root] [level] [le_tol] [--report=PATH] [--faults=SPEC]
+//                      [--backend=threads|tcp] [--workers=N] [--listen=HOST:PORT]
+//                      [--connect=HOST:PORT] [--net-faults=SPEC]
 //
 // --report=PATH additionally writes a JSON run report: both solves' wall
 // times, the per-grid records, the bit-exactness diff, the accuracy numbers,
@@ -17,13 +19,28 @@
 // re-dispatched, and the report gains a "faults" section recording every
 // injection, retry, respawn and abandonment.  The solve must still be
 // bit-identical to the sequential program.
+//
+// --backend=tcp runs the concurrent solve over the network substrate: the
+// master binds a TCP listener (--listen=HOST:PORT, default loopback
+// ephemeral), forks --workers=N subsolve worker processes (default 4), and
+// every work unit travels through core/marshal frames instead of in-process
+// units.  --connect=HOST:PORT instead joins an already-running master as one
+// worker process.  --net-faults=SPEC (net_drop / net_slow / net_truncate /
+// net_delay_ms, plus seed) injects seeded frame-level faults into the
+// master's send path; the fault-tolerant protocol retries through them and
+// the solve must *still* be bit-identical to the sequential program.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/concurrent_solver.hpp"
+#include "core/remote_worker.hpp"
 #include "fault/fault_plan.hpp"
+#include "net/remote.hpp"
 #include "obs/report.hpp"
 #include "transport/seq_solver.hpp"
 
@@ -48,6 +65,17 @@ void append_solve_json(mg::obs::JsonWriter& w, const mg::transport::SolveResult&
   w.end_object();
 }
 
+/// Splits "HOST:PORT" (host may be empty for the loopback default).
+bool parse_host_port(const std::string& spec, std::string& host, std::uint16_t& port) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) return false;
+  if (colon > 0) host = spec.substr(0, colon);
+  const long p = std::atol(spec.c_str() + colon + 1);
+  if (p <= 0 || p > 65535) return false;
+  port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -56,12 +84,31 @@ int main(int argc, char** argv) {
   transport::ProgramConfig config;
   std::string report_path;
   std::string fault_spec;
+  std::string net_fault_spec;
+  std::string backend = "threads";
+  std::string listen_host = "127.0.0.1";
+  std::uint16_t listen_port = 0;  // ephemeral by default
+  std::string connect_spec;
+  std::size_t tcp_workers = 4;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--report=", 9) == 0) {
       report_path = argv[i] + 9;
     } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
       fault_spec = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--net-faults=", 13) == 0) {
+      net_fault_spec = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      backend = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      tcp_workers = static_cast<std::size_t>(std::atol(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--listen=", 9) == 0) {
+      if (!parse_host_port(argv[i] + 9, listen_host, listen_port)) {
+        std::fprintf(stderr, "bad --listen spec '%s' (want HOST:PORT)\n", argv[i] + 9);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--connect=", 10) == 0) {
+      connect_spec = argv[i] + 10;
     } else if (positional == 0) {
       config.root = std::atoi(argv[i]);  // root level
       ++positional;
@@ -74,8 +121,47 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Worker mode: join a running master and serve subsolves until it is gone.
+  if (!connect_spec.empty()) {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    if (!parse_host_port(connect_spec, host, port)) {
+      std::fprintf(stderr, "bad --connect spec '%s' (want HOST:PORT)\n", connect_spec.c_str());
+      return 2;
+    }
+    return mw::run_subsolve_worker(host, port);
+  }
+
+  const bool tcp = backend == "tcp";
+  if (!tcp && backend != "threads") {
+    std::fprintf(stderr, "unknown --backend '%s' (want threads or tcp)\n", backend.c_str());
+    return 2;
+  }
+
+  // TCP master: bind first, fork the workers while this process is still
+  // single-threaded, and only then (below) start the endpoint's event loop —
+  // the kernel backlog holds the children's connects in the meantime.
+  net::TcpListener listener;
+  std::vector<int> worker_pids;
+  if (tcp) {
+    listener = net::TcpListener(listen_host, listen_port);
+    std::fflush(stdout);  // forked children must not replay buffered output
+    const std::string host = listener.host();
+    const std::uint16_t port = listener.port();
+    worker_pids = net::fork_worker_processes(tcp_workers, [&listener, host, port] {
+      // Children inherit the listening fd; keeping it open would hold the
+      // port alive after the master closes it and strand every reconnect.
+      listener.close();
+      return mw::run_subsolve_worker(host, port);
+    });
+  }
+
   std::printf("sparse-grid transport solve: root=%d level=%d le_tol=%g\n", config.root,
               config.level, config.le_tol);
+  if (tcp) {
+    std::printf("backend: tcp (%s:%u, %zu forked workers)\n", listener.host().c_str(),
+                static_cast<unsigned>(listener.port()), worker_pids.size());
+  }
   std::printf("problem: %s\n\n", config.kernel.problem.describe().c_str());
 
   // --- the sequential program (§3) ---
@@ -99,6 +185,33 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(options.faults.seed), options.faults.crash,
                 options.faults.hang, options.faults.corrupt);
   }
+
+  std::unique_ptr<const fault::FaultPlan> net_plan;
+  std::unique_ptr<net::RemoteEndpoint> endpoint;
+  if (tcp) {
+    net::RemoteEndpointConfig ep_config;
+    if (!net_fault_spec.empty()) {
+      net_plan = std::make_unique<const fault::FaultPlan>(fault::parse_fault_spec(net_fault_spec));
+      ep_config.faults = net_plan.get();
+      // Faulted frames must fail fast enough for the retry policy to matter.
+      ep_config.round_trip_deadline = std::chrono::milliseconds(2000);
+      const auto& nf = net_plan->config();
+      std::printf("\nnet fault injection on: seed=%llu drop=%.2f slow=%.2f truncate=%.2f\n",
+                  static_cast<unsigned long long>(nf.seed), nf.net_drop, nf.net_slow,
+                  nf.net_truncate);
+    }
+    // Remote workers need the fault-tolerant pool: a dead TCP peer surfaces
+    // as crash_worker, which the legacy rendezvous cannot digest.
+    if (!options.retry) options.retry = fault::RetryPolicy{};
+    endpoint = std::make_unique<net::RemoteEndpoint>(std::move(listener), ep_config);
+    const std::size_t expected = worker_pids.empty() ? 1 : worker_pids.size();
+    if (!endpoint->wait_for_workers(expected, std::chrono::milliseconds(15'000))) {
+      std::fprintf(stderr, "timed out waiting for %zu tcp worker(s)\n", expected);
+      return 3;
+    }
+    options.remote = endpoint.get();
+  }
+
   const mw::ConcurrentResult conc = mw::solve_concurrent(config, options);
   std::printf("\nconcurrent: %zu workers in %zu pool(s), %.3f s wall\n",
               conc.protocol.workers_created, conc.protocol.pools_created,
@@ -110,6 +223,22 @@ int main(int argc, char** argv) {
                 f.crashes_injected, f.hangs_injected, f.corruptions_injected, f.crash_events,
                 f.timeouts, f.retries, f.respawns, f.abandoned,
                 f.degraded ? " (pool degraded)" : "");
+  }
+
+  if (endpoint) {
+    const net::RemoteCounters nc = endpoint->counters();
+    std::printf("net: %llu frames out / %llu in, %llu bytes out / %llu in, "
+                "%llu reconnects, %llu trips ok / %llu failed\n",
+                static_cast<unsigned long long>(nc.frames_sent),
+                static_cast<unsigned long long>(nc.frames_received),
+                static_cast<unsigned long long>(nc.bytes_sent),
+                static_cast<unsigned long long>(nc.bytes_received),
+                static_cast<unsigned long long>(nc.reconnects),
+                static_cast<unsigned long long>(nc.round_trips_ok),
+                static_cast<unsigned long long>(nc.round_trips_failed));
+    endpoint->shutdown();
+    const int worker_rc = net::wait_worker_processes(worker_pids);
+    if (worker_rc != 0) std::printf("warning: tcp worker exit status %d\n", worker_rc);
   }
 
   const double diff = conc.solve.combined.max_diff(seq.combined);

@@ -7,6 +7,7 @@
 
 #include "core/marshal.hpp"
 #include "core/master.hpp"
+#include "core/remote_worker.hpp"
 #include "core/worker.hpp"
 #include "support/check.hpp"
 #include "support/stopwatch.hpp"
@@ -235,7 +236,10 @@ ConcurrentResult solve_concurrent(const transport::ProgramConfig& program,
   run_options.overall_deadline = options.overall_deadline;
   WorkerFactory factory;
   std::shared_ptr<InjectionStats> injections;
-  if (options.retry) {
+  if (options.remote != nullptr) {
+    MG_REQUIRE(options.data_path == DataPath::ThroughMaster);
+    factory = make_remote_worker_factory(*options.remote, options.retry.has_value());
+  } else if (options.retry) {
     auto plan = options.faults.any()
                     ? std::make_shared<const fault::FaultPlan>(options.faults)
                     : nullptr;

@@ -17,6 +17,10 @@
 #include "transport/seq_solver.hpp"
 #include "trace/trace_log.hpp"
 
+namespace mg::net {
+class RemoteEndpoint;
+}
+
 namespace mg::mw {
 
 /// Work unit the master writes to its output port: which grid to subsolve.
@@ -82,6 +86,12 @@ struct ConcurrentOptions {
   /// Overall wall-clock deadline for the whole run; 0 = none.  On expiry the
   /// run unwinds with ProtocolStats.timed_out instead of hanging.
   std::chrono::milliseconds overall_deadline{0};
+  /// Third substrate: when set, pool workers are remote proxies that marshal
+  /// each work unit over this TCP endpoint to a worker process instead of
+  /// computing in-thread (ThroughMaster only).  Failed round trips surface
+  /// as worker crashes, so `retry` supervises remote workers exactly like
+  /// local ones.  Not owned; must outlive the run.
+  net::RemoteEndpoint* remote = nullptr;
 };
 
 struct ConcurrentResult {

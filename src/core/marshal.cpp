@@ -40,8 +40,18 @@ transport::SubsolveConfig read_kernel(ByteReader& r) {
   k.problem.y0 = r.read_f64();
   k.problem.sigma = r.read_f64();
   k.problem.amplitude = r.read_f64();
-  k.system.scheme = static_cast<transport::AdvectionScheme>(r.read_i32());
-  k.system.solver = static_cast<transport::StageSolverKind>(r.read_i32());
+  // Enums come off the wire as raw i32s; a corrupt byte must be rejected
+  // here, not turned into an out-of-range switch downstream.
+  const std::int32_t scheme = r.read_i32();
+  if (scheme < 0 || scheme > static_cast<std::int32_t>(transport::AdvectionScheme::ThirdOrderKoren)) {
+    throw support::DecodeError("read_kernel: advection scheme out of range");
+  }
+  const std::int32_t solver = r.read_i32();
+  if (solver < 0 || solver > static_cast<std::int32_t>(transport::StageSolverKind::BiCgStabJacobi)) {
+    throw support::DecodeError("read_kernel: stage solver out of range");
+  }
+  k.system.scheme = static_cast<transport::AdvectionScheme>(scheme);
+  k.system.solver = static_cast<transport::StageSolverKind>(solver);
   k.system.krylov.rel_tol = r.read_f64();
   k.system.krylov.abs_tol = r.read_f64();
   k.system.krylov.max_iter = r.read_u64();

@@ -278,8 +278,11 @@ PoolStats create_worker_pool_ft(iwim::ProcessContext& coordinator, iwim::Process
     std::optional<EventOccurrence> occurrence;
     if (const auto wake = next_wake()) {
       const auto now = Clock::now();
+      // Ceil, not truncate: rounding the wait down wakes the coordinator a
+      // fraction of a millisecond before the timer is due, and the re-check
+      // finds nothing to service — a busy-spin until the timer really fires.
       const auto until = *wake > now
-                             ? std::chrono::duration_cast<std::chrono::milliseconds>(*wake - now)
+                             ? std::chrono::ceil<std::chrono::milliseconds>(*wake - now)
                              : std::chrono::milliseconds(0);
       occurrence = coordinator.await_for(labels, std::max(until, std::chrono::milliseconds(1)));
       if (!occurrence) continue;  // timer tick: loop services deadlines/respawns

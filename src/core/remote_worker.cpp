@@ -1,0 +1,75 @@
+#include "core/remote_worker.hpp"
+
+#include <utility>
+
+#include "core/marshal.hpp"
+#include "net/remote.hpp"
+#include "transport/subsolve.hpp"
+
+namespace mg::mw {
+
+WorkerFactory make_remote_worker_factory(net::RemoteEndpoint& endpoint, bool fault_tolerant,
+                                         std::string kind) {
+  net::RemoteEndpoint* ep = &endpoint;
+  return [ep, fault_tolerant, kind = std::move(kind)](
+             iwim::Runtime& runtime, std::size_t index) -> std::shared_ptr<iwim::Process> {
+    return runtime.create_process(
+        kind, kind + std::to_string(index), [ep, fault_tolerant](iwim::ProcessContext& ctx) {
+          const iwim::Unit job = ctx.read("input");  // worker step 1
+          const auto& item = job.as<WorkItem>();
+
+          // Worker step 2, delegated across the wire.  The cancellation hook
+          // lets a deadline kill() release the proxy mid-trip; the endpoint
+          // then drops the channel so the stale result cannot come back.
+          iwim::Process& self = ctx.self();
+          net::RemoteEndpoint::RoundTrip trip =
+              ep->round_trip(encode_work_item(item), [&self] { return self.killed(); });
+
+          if (self.killed()) return;  // killed workers unwind silently
+
+          if (!trip.ok) {
+            ctx.trace("remote round trip failed: " + trip.error, "remote_worker.cpp", __LINE__);
+            if (fault_tolerant) {
+              // Peer disconnect / timeout / corrupt stream == worker crash.
+              ctx.raise(ProtocolEvents::crash_worker);
+            } else {
+              ctx.write(iwim::Unit{}, "error");
+              ctx.write(iwim::Unit{}, "output");
+              ctx.raise(ProtocolEvents::death_worker);
+            }
+            return;
+          }
+
+          try {
+            ResultItem result = decode_result_item(trip.payload);
+            ctx.write(iwim::Unit::of(std::move(result)), "output");  // worker step 3
+          } catch (const std::exception& e) {
+            // A reply that decodes wrong is transport corruption: same
+            // observable as a crash, never a fake result.
+            ctx.trace(std::string("remote result rejected: ") + e.what(), "remote_worker.cpp",
+                      __LINE__);
+            if (fault_tolerant) {
+              ctx.raise(ProtocolEvents::crash_worker);
+            } else {
+              ctx.write(iwim::Unit{}, "error");
+              ctx.write(iwim::Unit{}, "output");
+              ctx.raise(ProtocolEvents::death_worker);
+            }
+            return;
+          }
+          ctx.raise(ProtocolEvents::death_worker);  // worker step 4
+        });
+  };
+}
+
+int run_subsolve_worker(const std::string& host, std::uint16_t port) {
+  return net::run_worker_loop(host, port, [](const std::vector<std::uint8_t>& work) {
+    const WorkItem item = decode_work_item(work);
+    const grid::Grid2D g(item.root, item.lx, item.ly);
+    transport::SubsolveResult r = transport::subsolve(g, item.config);
+    return encode_result_item(
+        ResultItem{item.index, std::move(r.solution.data()), r.stats, r.elapsed_seconds});
+  });
+}
+
+}  // namespace mg::mw

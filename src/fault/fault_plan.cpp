@@ -60,6 +60,10 @@ FaultPlanConfig parse_fault_spec(const std::string& spec) {
       config.net_slow = value;
     } else if (key == "net_slow_factor") {
       config.net_slow_factor = value;
+    } else if (key == "net_truncate") {
+      config.net_truncate = value;
+    } else if (key == "net_delay_ms") {
+      config.net_delay = std::chrono::milliseconds(static_cast<std::int64_t>(value));
     } else {
       throw std::invalid_argument("fault spec: unknown key '" + key + "'");
     }
@@ -98,6 +102,10 @@ bool FaultPlan::drops_transfer(std::uint64_t ordinal) const {
 
 double FaultPlan::transfer_slowdown(std::uint64_t ordinal) const {
   return roll(ordinal, 5) < config_.net_slow ? config_.net_slow_factor : 1.0;
+}
+
+bool FaultPlan::truncates_transfer(std::uint64_t ordinal) const {
+  return roll(ordinal, 6) < config_.net_truncate;
 }
 
 FaultCounters& FaultCounters::operator+=(const FaultCounters& other) {

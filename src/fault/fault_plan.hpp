@@ -71,15 +71,21 @@ struct FaultPlanConfig {
   double crash = 0.0;
   double hang = 0.0;
   double corrupt = 0.0;
-  // Simulator-only faults.
+  // Simulator faults; net_drop/net_slow double as TCP frame faults (the real
+  // transport drops or delays the master's Work frame for faulted ordinals).
   double host_crash = 0.0;   ///< host dies mid-compute (per attempt)
   double net_drop = 0.0;     ///< transfer lost, must be retransmitted
   double net_slow = 0.0;     ///< transfer degraded by `net_slow_factor`
   double net_slow_factor = 3.0;
+  // TCP-transport-only fault: the frame is cut short mid-send and the
+  // connection closed, exercising the receiver's CRC/truncation detection.
+  double net_truncate = 0.0;
+  /// Real-transport delay applied to a slowed (net_slow) transfer.
+  std::chrono::milliseconds net_delay{50};
 
   bool any() const {
     return crash > 0 || hang > 0 || corrupt > 0 || host_crash > 0 || net_drop > 0 ||
-           net_slow > 0;
+           net_slow > 0 || net_truncate > 0;
   }
 };
 
@@ -108,6 +114,9 @@ class FaultPlan {
   /// Simulator: is network transfer `ordinal` dropped / slowed?
   bool drops_transfer(std::uint64_t ordinal) const;
   double transfer_slowdown(std::uint64_t ordinal) const;
+
+  /// TCP transport: is frame transfer `ordinal` truncated mid-send?
+  bool truncates_transfer(std::uint64_t ordinal) const;
 
  private:
   double roll(std::uint64_t ordinal, std::uint64_t salt) const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/timed_wait.hpp"
+
 namespace mg::iwim {
 
 void EventMemory::deposit(EventOccurrence occurrence) {
@@ -38,17 +40,19 @@ EventOccurrence EventMemory::await(const std::vector<EventMatcher>& matchers) {
 
 std::optional<EventOccurrence> EventMemory::await_for(const std::vector<EventMatcher>& matchers,
                                                       std::chrono::milliseconds timeout) {
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  support::WaitClock& clock = support::wait_clock();
+  const auto deadline = clock.now() + timeout;
   std::unique_lock<std::mutex> lock(mutex_);
   // Same discipline as Port::read_for: loop until the deadline itself has
   // passed — a spurious wake goes back to waiting, and an occurrence
   // deposited between the cv timeout and the lock re-acquisition is still
-  // taken rather than dropped.
+  // taken rather than dropped.  Timed through the support/timed_wait seam
+  // so tests can drive the loop with virtual time.
   for (;;) {
     if (auto found = take_locked(matchers)) return found;
     if (stopping_) throw ShutdownSignal{};
-    if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
-    cv_.wait_until(lock, deadline);
+    if (clock.now() >= deadline) return std::nullopt;
+    clock.wait_until(cv_, lock, deadline);
   }
 }
 

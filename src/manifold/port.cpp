@@ -3,6 +3,7 @@
 #include "manifold/event.hpp"
 #include "obs/metrics.hpp"
 #include "support/check.hpp"
+#include "support/timed_wait.hpp"
 
 namespace mg::iwim {
 
@@ -73,17 +74,20 @@ std::optional<Unit> Port::try_read() {
 
 std::optional<Unit> Port::read_for(std::chrono::milliseconds timeout) {
   MG_REQUIRE(direction_ == Direction::In);
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  support::WaitClock& clock = support::wait_clock();
+  const auto deadline = clock.now() + timeout;
   std::unique_lock<std::mutex> lock(mutex_);
   // Loop until the deadline itself has passed, not until the first wake the
   // cv reports as timeout-free: a spurious wake must go back to waiting, and
   // a timed-out wait must still re-check the queues — a unit deposited
   // between the wakeup and the lock re-acquisition must not be dropped.
+  // The clock seam (support/timed_wait) lets tests drive this loop with
+  // virtual time and scheduled spurious wakes.
   for (;;) {
     if (auto u = take_locked()) return u;
     if (stopping_) throw ShutdownSignal{};
-    if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
-    cv_.wait_until(lock, deadline);
+    if (clock.now() >= deadline) return std::nullopt;
+    clock.wait_until(cv_, lock, deadline);
   }
 }
 

@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the frame
+// integrity check of the network substrate.
+//
+// The framed transport puts a CRC over the header and another over the
+// payload, so truncation, bit rot, and mid-stream desync are detected at the
+// frame boundary instead of surfacing as garbage work units.  Table-driven,
+// no dependencies; callers can chain calls via the `seed` parameter.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mg::net {
+
+/// CRC-32 of `n` bytes.  `seed` is the running CRC of preceding data (0 to
+/// start); the result of one call feeds the next, so a message can be
+/// checksummed in pieces.
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+}  // namespace mg::net

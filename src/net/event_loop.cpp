@@ -1,0 +1,169 @@
+#include "net/event_loop.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "support/check.hpp"
+
+namespace mg::net {
+
+EventLoop::EventLoop() {
+  MG_REQUIRE(::pipe(wake_fds_) == 0);
+  for (int fd : wake_fds_) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
+EventLoop::~EventLoop() {
+  stop();
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+}
+
+void EventLoop::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  stop_requested_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { run(); });
+}
+
+void EventLoop::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  wake();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+  watches_.clear();
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  if (on_loop_thread()) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  wake();
+}
+
+std::uint64_t EventLoop::post_after(std::chrono::milliseconds delay, std::function<void()> fn) {
+  std::uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = next_timer_id_++;
+    timers_.push_back({std::chrono::steady_clock::now() + delay, id, std::move(fn)});
+  }
+  wake();
+  return id;
+}
+
+void EventLoop::cancel_timer(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::erase_if(timers_, [id](const Timer& t) { return t.id == id; });
+}
+
+void EventLoop::watch(int fd, short events, IoCallback cb) {
+  MG_REQUIRE(on_loop_thread());
+  watches_[fd] = Watch{events, std::move(cb)};
+}
+
+void EventLoop::modify(int fd, short events) {
+  MG_REQUIRE(on_loop_thread());
+  const auto it = watches_.find(fd);
+  if (it != watches_.end()) it->second.events = events;
+}
+
+void EventLoop::unwatch(int fd) {
+  MG_REQUIRE(on_loop_thread());
+  watches_.erase(fd);
+}
+
+void EventLoop::wake() {
+  const char byte = 'w';
+  [[maybe_unused]] const ssize_t r = ::write(wake_fds_[1], &byte, 1);  // full pipe is fine
+}
+
+void EventLoop::drain_posted() {
+  std::vector<std::function<void()>> run_now;
+  std::vector<std::function<void()>> due_timers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    run_now.swap(posted_);
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = timers_.begin(); it != timers_.end();) {
+      if (it->due <= now) {
+        due_timers.push_back(std::move(it->fn));
+        it = timers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& fn : run_now) fn();
+  for (auto& fn : due_timers) fn();
+}
+
+int EventLoop::next_poll_timeout_ms() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!posted_.empty()) return 0;
+  if (timers_.empty()) return -1;
+  auto earliest = timers_.front().due;
+  for (const Timer& t : timers_) earliest = std::min(earliest, t.due);
+  const auto now = std::chrono::steady_clock::now();
+  if (earliest <= now) return 0;
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(earliest - now);
+  // Ceil so a timer is never polled awake a fraction early only to re-poll.
+  return static_cast<int>(ms.count()) + 1;
+}
+
+void EventLoop::run() {
+  loop_thread_id_.store(std::this_thread::get_id(), std::memory_order_release);
+  std::vector<pollfd> pfds;
+  std::vector<int> fds;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    drain_posted();
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+
+    pfds.clear();
+    fds.clear();
+    pfds.push_back(pollfd{wake_fds_[0], POLLIN, 0});
+    for (const auto& [fd, w] : watches_) {
+      pfds.push_back(pollfd{fd, w.events, 0});
+      fds.push_back(fd);
+    }
+
+    const int rc = ::poll(pfds.data(), pfds.size(), next_poll_timeout_ms());
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable poll failure: shut the loop down
+    }
+
+    if (pfds[0].revents & POLLIN) {
+      char buf[64];
+      while (::read(wake_fds_[0], buf, sizeof buf) > 0) {
+      }
+    }
+
+    // Callbacks may watch/unwatch freely: we snapshotted the fd list, and
+    // re-check membership before each dispatch.
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      const short revents = pfds[i + 1].revents;
+      if (revents == 0) continue;
+      const auto it = watches_.find(fds[i]);
+      if (it == watches_.end()) continue;
+      IoCallback cb = it->second.cb;  // copy: the callback may unwatch itself
+      cb(revents);
+    }
+  }
+  drain_posted();  // run final posted closures (shutdown cleanup)
+  loop_thread_id_.store(std::thread::id{}, std::memory_order_release);
+}
+
+}  // namespace mg::net

@@ -1,0 +1,91 @@
+// A poll()-based non-blocking event loop — the single thread that owns all
+// master-side socket state.
+//
+// Concurrency discipline (the libp2p/tinymux pattern): every fd watch, every
+// connection buffer, and every in-flight round trip is mutated only on the
+// loop thread.  Other threads interact exclusively through post() (run a
+// closure on the loop) and post_after() (run it later); a self-pipe wakes
+// poll() when work arrives.  This keeps the socket layer lock-free where it
+// matters — the only locks are around the posted-closure queue.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mg::net {
+
+class EventLoop {
+ public:
+  /// revents from poll(): POLLIN/POLLOUT/POLLERR/POLLHUP bits.
+  using IoCallback = std::function<void(short revents)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Spawns the loop thread.  Idempotent.
+  void start();
+
+  /// Requests stop, wakes poll(), joins the thread.  Pending posted closures
+  /// run before the thread exits; watches are dropped.  Idempotent.
+  void stop();
+
+  /// Runs `fn` on the loop thread (immediately if already on it).
+  void post(std::function<void()> fn);
+
+  /// Runs `fn` on the loop thread after `delay`.  Returns a timer id that
+  /// cancel_timer() accepts; fired/cancelled timers free their slot.
+  std::uint64_t post_after(std::chrono::milliseconds delay, std::function<void()> fn);
+  void cancel_timer(std::uint64_t id);
+
+  // ---- loop-thread-only fd registry ----
+
+  /// Watches fd for `events` (POLLIN|POLLOUT).  One watch per fd.
+  void watch(int fd, short events, IoCallback cb);
+  /// Adjusts the interest set of an existing watch.
+  void modify(int fd, short events);
+  /// Drops the watch (does not close the fd).
+  void unwatch(int fd);
+
+  bool on_loop_thread() const { return std::this_thread::get_id() == loop_thread_id_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  struct Timer {
+    std::chrono::steady_clock::time_point due;
+    std::uint64_t id;
+    std::function<void()> fn;
+  };
+  struct Watch {
+    short events;
+    IoCallback cb;
+  };
+
+  void run();
+  void wake();
+  void drain_posted();
+  int next_poll_timeout_ms();
+
+  int wake_fds_[2] = {-1, -1};  // self-pipe: [0] read end (polled), [1] write end
+  std::thread thread_;
+  std::atomic<std::thread::id> loop_thread_id_{};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  std::mutex mutex_;  // guards posted_ and timers_ (posted from any thread)
+  std::vector<std::function<void()>> posted_;
+  std::vector<Timer> timers_;
+  std::uint64_t next_timer_id_ = 1;
+
+  std::map<int, Watch> watches_;  // loop thread only
+};
+
+}  // namespace mg::net

@@ -1,0 +1,121 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+#include "net/crc32.hpp"
+
+namespace mg::net {
+
+namespace {
+
+void put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+const char* to_string(FrameType t) {
+  switch (t) {
+    case FrameType::Hello: return "hello";
+    case FrameType::Work: return "work";
+    case FrameType::Result: return "result";
+    case FrameType::Error: return "error";
+    case FrameType::Bye: return "bye";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode_frame(FrameType type, std::uint64_t seq,
+                                       const std::uint8_t* payload, std::size_t payload_size) {
+  std::vector<std::uint8_t> out(FrameHeader::kWireSize + payload_size);
+  std::uint8_t* h = out.data();
+  put_u32(h + 0, FrameHeader::kMagic);
+  put_u16(h + 4, FrameHeader::kVersion);
+  put_u16(h + 6, static_cast<std::uint16_t>(type));
+  put_u64(h + 8, seq);
+  put_u32(h + 16, static_cast<std::uint32_t>(payload_size));
+  put_u32(h + 20, crc32(payload, payload_size));
+  put_u32(h + 24, crc32(h, 24));
+  if (payload_size > 0) std::memcpy(out.data() + FrameHeader::kWireSize, payload, payload_size);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_frame(FrameType type, std::uint64_t seq,
+                                       const std::vector<std::uint8_t>& payload) {
+  return encode_frame(type, seq, payload.data(), payload.size());
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t n) {
+  // Compact lazily: drop the consumed prefix once it dominates the buffer,
+  // so steady-state reassembly is amortised O(bytes).
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + n);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < FrameHeader::kWireSize) return std::nullopt;
+  const std::uint8_t* h = buffer_.data() + consumed_;
+
+  if (get_u32(h + 0) != FrameHeader::kMagic) throw FrameError("frame: bad magic");
+  if (get_u32(h + 24) != crc32(h, 24)) throw FrameError("frame: header CRC mismatch");
+  const std::uint16_t version = get_u16(h + 4);
+  if (version != FrameHeader::kVersion) {
+    throw FrameError("frame: unsupported protocol version " + std::to_string(version));
+  }
+  const std::uint16_t raw_type = get_u16(h + 6);
+  if (raw_type < static_cast<std::uint16_t>(FrameType::Hello) ||
+      raw_type > static_cast<std::uint16_t>(FrameType::Bye)) {
+    throw FrameError("frame: unknown type " + std::to_string(raw_type));
+  }
+  const std::uint32_t payload_size = get_u32(h + 16);
+  if (payload_size > max_payload_) {
+    throw FrameError("frame: payload of " + std::to_string(payload_size) +
+                     " bytes exceeds the cap");
+  }
+  if (avail < FrameHeader::kWireSize + payload_size) return std::nullopt;
+
+  Frame frame;
+  frame.header.version = version;
+  frame.header.type = static_cast<FrameType>(raw_type);
+  frame.header.seq = get_u64(h + 8);
+  frame.header.payload_size = payload_size;
+  frame.header.payload_crc = get_u32(h + 20);
+  const std::uint8_t* body = h + FrameHeader::kWireSize;
+  if (crc32(body, payload_size) != frame.header.payload_crc) {
+    throw FrameError("frame: payload CRC mismatch");
+  }
+  frame.payload.assign(body, body + payload_size);
+  consumed_ += FrameHeader::kWireSize + payload_size;
+  return frame;
+}
+
+}  // namespace mg::net

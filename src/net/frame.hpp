@@ -1,0 +1,92 @@
+// Length-prefixed frames with CRC-checked headers — the wire unit of the
+// network substrate.
+//
+// Everything that crosses a socket is a frame:
+//
+//   offset  size  field
+//        0     4  magic "MGNF"
+//        4     2  protocol version
+//        6     2  frame type
+//        8     8  sequence number (request/response correlation)
+//       16     4  payload size
+//       20     4  payload CRC-32
+//       24     4  header CRC-32 (over bytes [0, 24))
+//       28     —  payload bytes
+//
+// The header CRC makes desync and truncation detectable before a byte of
+// payload is trusted: a receiver that sees a bad magic or header CRC knows
+// the stream is broken (not merely one message) and drops the connection.
+// The payload CRC catches corruption of the body.  All integers are
+// little-endian, matching support/bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace mg::net {
+
+enum class FrameType : std::uint16_t {
+  Hello = 1,   ///< worker -> master on connect: u64 pid, u64 connect attempt
+  Work = 2,    ///< master -> worker: marshalled work unit
+  Result = 3,  ///< worker -> master: marshalled result, same seq as the Work
+  Error = 4,   ///< worker -> master: compute failed; payload = message text
+  Bye = 5,     ///< orderly shutdown request
+};
+
+const char* to_string(FrameType t);
+
+struct FrameHeader {
+  static constexpr std::uint32_t kMagic = 0x4D474E46u;  // "MGNF" little-endian
+  static constexpr std::uint16_t kVersion = 1;
+  static constexpr std::size_t kWireSize = 28;
+
+  std::uint16_t version = kVersion;
+  FrameType type = FrameType::Hello;
+  std::uint64_t seq = 0;
+  std::uint32_t payload_size = 0;
+  std::uint32_t payload_crc = 0;
+};
+
+struct Frame {
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Thrown by the decoder on a broken stream (bad magic, failed CRC,
+/// oversized payload).  Connection-fatal: framing cannot resynchronise.
+class FrameError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serialises one complete frame (header CRCs computed here).
+std::vector<std::uint8_t> encode_frame(FrameType type, std::uint64_t seq,
+                                       const std::uint8_t* payload, std::size_t payload_size);
+std::vector<std::uint8_t> encode_frame(FrameType type, std::uint64_t seq,
+                                       const std::vector<std::uint8_t>& payload);
+
+/// Incremental frame reassembly over a byte stream.  feed() appends raw
+/// received bytes; next() yields complete frames in order, or nullopt when
+/// more bytes are needed.  Throws FrameError on a corrupt stream — the
+/// connection must then be dropped.
+class FrameDecoder {
+ public:
+  static constexpr std::size_t kDefaultMaxPayload = 256u << 20;  // 256 MiB
+
+  explicit FrameDecoder(std::size_t max_payload = kDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  void feed(const std::uint8_t* data, std::size_t n);
+  std::optional<Frame> next();
+
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::size_t max_payload_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  ///< prefix already handed out as frames
+};
+
+}  // namespace mg::net

@@ -1,0 +1,628 @@
+#include "net/remote.hpp"
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "support/check.hpp"
+
+namespace mg::net {
+
+namespace {
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+// Global obs mirrors; endpoint-local atomics (CounterCells) keep per-endpoint
+// views for tests that run several endpoints in one process.
+struct NetMetrics {
+  obs::Counter& accepts;
+  obs::Counter& reconnects;
+  obs::Counter& disconnects;
+  obs::Counter& frames_sent;
+  obs::Counter& frames_received;
+  obs::Counter& bytes_sent;
+  obs::Counter& bytes_received;
+  obs::Counter& crc_errors;
+  obs::Counter& round_trips_ok;
+  obs::Counter& round_trips_failed;
+  obs::Counter& faults_dropped;
+  obs::Counter& faults_delayed;
+  obs::Counter& faults_truncated;
+  obs::Histogram& round_trip_seconds;
+};
+
+NetMetrics& net_metrics() {
+  static NetMetrics m{
+      obs::registry().counter("net.accepts"),
+      obs::registry().counter("net.reconnects"),
+      obs::registry().counter("net.disconnects"),
+      obs::registry().counter("net.frames_sent"),
+      obs::registry().counter("net.frames_received"),
+      obs::registry().counter("net.bytes_sent"),
+      obs::registry().counter("net.bytes_received"),
+      obs::registry().counter("net.crc_errors"),
+      obs::registry().counter("net.round_trips_ok"),
+      obs::registry().counter("net.round_trips_failed"),
+      obs::registry().counter("net.faults_dropped"),
+      obs::registry().counter("net.faults_delayed"),
+      obs::registry().counter("net.faults_truncated"),
+      obs::registry().histogram("net.round_trip_seconds", obs::default_latency_buckets()),
+  };
+  return m;
+}
+
+}  // namespace
+
+struct RemoteEndpoint::CounterCells {
+  std::atomic<std::uint64_t> accepts{0};
+  std::atomic<std::uint64_t> reconnects{0};
+  std::atomic<std::uint64_t> disconnects{0};
+  std::atomic<std::uint64_t> frames_sent{0};
+  std::atomic<std::uint64_t> frames_received{0};
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> bytes_received{0};
+  std::atomic<std::uint64_t> crc_errors{0};
+  std::atomic<std::uint64_t> round_trips_ok{0};
+  std::atomic<std::uint64_t> round_trips_failed{0};
+  std::atomic<std::uint64_t> faults_dropped{0};
+  std::atomic<std::uint64_t> faults_delayed{0};
+  std::atomic<std::uint64_t> faults_truncated{0};
+
+  void bump(std::atomic<std::uint64_t>& cell, obs::Counter& mirror, std::uint64_t n = 1) {
+    cell.fetch_add(n, std::memory_order_relaxed);
+    mirror.add(n);
+  }
+};
+
+struct RemoteEndpoint::Trip {
+  std::vector<std::uint8_t> work;
+  std::uint64_t seq = 0;      ///< loop thread: assigned at dispatch
+  std::uint64_t channel = 0;  ///< loop thread: leased channel id, 0 = queued
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  RoundTrip result;
+};
+
+struct RemoteEndpoint::Channel {
+  std::uint64_t id = 0;
+  Socket sock;
+  FrameDecoder decoder;
+  bool hello_seen = false;
+  std::uint64_t worker_pid = 0;
+  std::vector<std::uint8_t> outbox;  ///< unsent tx bytes (partial writes)
+  std::size_t out_off = 0;
+  std::shared_ptr<Trip> active;      ///< in-flight round trip, if any
+
+  Channel(std::uint64_t id_, Socket sock_, std::size_t max_payload)
+      : id(id_), sock(std::move(sock_)), decoder(max_payload) {}
+};
+
+RemoteEndpoint::RemoteEndpoint(TcpListener listener, RemoteEndpointConfig config)
+    : config_(config),
+      listener_(std::move(listener)),
+      counters_(std::make_unique<CounterCells>()) {
+  MG_REQUIRE(listener_.valid());
+  port_ = listener_.port();
+  loop_.start();
+  loop_.post([this] { setup_on_loop(); });
+}
+
+RemoteEndpoint::~RemoteEndpoint() { shutdown(); }
+
+void RemoteEndpoint::setup_on_loop() {
+  // Blocking while single-threaded (fork-friendly), non-blocking once polled:
+  // a connection that aborts between poll() and accept() must not park the
+  // loop inside accept().
+  listener_.set_nonblocking(true);
+  loop_.watch(listener_.fd(), POLLIN, [this](short) { on_acceptable(); });
+}
+
+void RemoteEndpoint::on_acceptable() {
+  for (;;) {
+    Socket s = listener_.accept();
+    if (!s.valid()) return;
+    const std::uint64_t id = next_channel_id_++;
+    const int fd = s.fd();
+    channels_.emplace(id, std::make_unique<Channel>(id, std::move(s), config_.max_payload));
+    loop_.watch(fd, POLLIN, [this, id](short revents) { on_channel_io(id, revents); });
+  }
+}
+
+void RemoteEndpoint::on_channel_io(std::uint64_t id, short revents) {
+  const auto it = channels_.find(id);
+  if (it == channels_.end()) return;
+  Channel& ch = *it->second;
+
+  if (revents & (POLLERR | POLLNVAL)) {
+    close_channel(id, "socket error");
+    return;
+  }
+
+  if (revents & POLLOUT) {
+    try {
+      flush_channel(ch);
+    } catch (const SocketError& e) {
+      close_channel(id, e.what());
+      return;
+    }
+  }
+
+  if (revents & (POLLIN | POLLHUP)) {
+    std::uint8_t buf[64 * 1024];
+    for (;;) {
+      std::ptrdiff_t r;
+      try {
+        r = ch.sock.recv_some(buf, sizeof buf);
+      } catch (const SocketError& e) {
+        close_channel(id, e.what());
+        return;
+      }
+      if (r < 0) break;  // drained
+      if (r == 0) {      // peer closed
+        close_channel(id, "peer disconnected");
+        return;
+      }
+      counters_->bump(counters_->bytes_received, net_metrics().bytes_received,
+                      static_cast<std::uint64_t>(r));
+      ch.decoder.feed(buf, static_cast<std::size_t>(r));
+      try {
+        while (auto frame = ch.decoder.next()) {
+          counters_->bump(counters_->frames_received, net_metrics().frames_received);
+          handle_frame(ch, std::move(*frame));
+          if (channels_.find(id) == channels_.end()) return;  // handler closed us
+        }
+      } catch (const FrameError& e) {
+        counters_->bump(counters_->crc_errors, net_metrics().crc_errors);
+        close_channel(id, std::string("corrupt stream: ") + e.what());
+        return;
+      }
+    }
+  }
+}
+
+void RemoteEndpoint::handle_frame(Channel& ch, Frame frame) {
+  switch (frame.header.type) {
+    case FrameType::Hello: {
+      if (ch.hello_seen || frame.payload.size() != 16) {
+        close_channel(ch.id, "protocol violation: bad Hello");
+        return;
+      }
+      ch.hello_seen = true;
+      ch.worker_pid = get_u64(frame.payload.data());
+      const std::uint64_t attempt = get_u64(frame.payload.data() + 8);
+      counters_->bump(counters_->accepts, net_metrics().accepts);
+      if (attempt > 0) counters_->bump(counters_->reconnects, net_metrics().reconnects);
+      connected_.fetch_add(1, std::memory_order_acq_rel);
+      {
+        std::lock_guard<std::mutex> lk(workers_mutex_);
+      }
+      workers_cv_.notify_all();
+      try_dispatch();
+      return;
+    }
+    case FrameType::Result: {
+      if (!ch.active || frame.header.seq != ch.active->seq) {
+        close_channel(ch.id, "protocol violation: unexpected Result seq");
+        return;
+      }
+      auto trip = std::move(ch.active);
+      complete_trip(trip, std::move(frame.payload));
+      try_dispatch();
+      return;
+    }
+    case FrameType::Error: {
+      if (!ch.active || frame.header.seq != ch.active->seq) {
+        close_channel(ch.id, "protocol violation: unexpected Error seq");
+        return;
+      }
+      // The worker is healthy — its computation failed.  Fail the trip but
+      // keep the channel; the supervisor decides whether to retry.
+      auto trip = std::move(ch.active);
+      fail_trip(trip, "worker error: " +
+                          std::string(frame.payload.begin(), frame.payload.end()));
+      try_dispatch();
+      return;
+    }
+    case FrameType::Bye:
+      close_channel(ch.id, "worker said Bye");
+      return;
+    case FrameType::Work:
+      close_channel(ch.id, "protocol violation: Work frame from worker");
+      return;
+  }
+  close_channel(ch.id, "protocol violation: unknown frame type");
+}
+
+void RemoteEndpoint::close_channel(std::uint64_t id, const std::string& reason) {
+  const auto it = channels_.find(id);
+  if (it == channels_.end()) return;
+  Channel& ch = *it->second;
+  loop_.unwatch(ch.sock.fd());
+  if (ch.hello_seen) {
+    connected_.fetch_sub(1, std::memory_order_acq_rel);
+    {
+      std::lock_guard<std::mutex> lk(workers_mutex_);
+    }
+    workers_cv_.notify_all();
+  }
+  counters_->bump(counters_->disconnects, net_metrics().disconnects);
+  if (ch.active) fail_trip(ch.active, "channel closed: " + reason);
+  channels_.erase(it);
+}
+
+void RemoteEndpoint::try_dispatch() {
+  while (!pending_trips_.empty()) {
+    Channel* idle = nullptr;
+    for (auto& [id, ch] : channels_) {
+      if (ch->hello_seen && !ch->active) {
+        idle = ch.get();
+        break;
+      }
+    }
+    if (idle == nullptr) return;
+    auto trip = std::move(pending_trips_.front());
+    pending_trips_.pop_front();
+    {
+      std::lock_guard<std::mutex> lk(trip->m);
+      if (trip->done) continue;  // aborted while queued
+    }
+    dispatch(*idle, std::move(trip));
+  }
+}
+
+void RemoteEndpoint::dispatch(Channel& ch, std::shared_ptr<Trip> trip) {
+  trip->seq = next_seq_++;
+  trip->channel = ch.id;
+  ch.active = trip;
+  const std::uint64_t ordinal = transfer_ordinal_++;
+  std::vector<std::uint8_t> bytes = encode_frame(FrameType::Work, trip->seq, trip->work);
+
+  const fault::FaultPlan* plan = config_.faults;
+  if (plan != nullptr) {
+    if (plan->drops_transfer(ordinal)) {
+      // Vanish the frame: the trip rides to its deadline, which closes the
+      // channel — exactly what a blackholed packet looks like from above.
+      counters_->bump(counters_->faults_dropped, net_metrics().faults_dropped);
+      return;
+    }
+    if (plan->truncates_transfer(ordinal)) {
+      // Send a prefix and cut the connection: the worker's decoder sees a
+      // short stream, the trip fails fast, the worker reconnects.
+      counters_->bump(counters_->faults_truncated, net_metrics().faults_truncated);
+      std::vector<std::uint8_t> prefix(bytes.begin(),
+                                       bytes.begin() + static_cast<std::ptrdiff_t>(bytes.size() / 2));
+      try {
+        enqueue_bytes(ch, std::move(prefix));
+        flush_channel(ch);
+      } catch (const SocketError&) {
+      }
+      close_channel(ch.id, "injected truncation");
+      return;
+    }
+    if (plan->transfer_slowdown(ordinal) > 1.0) {
+      counters_->bump(counters_->faults_delayed, net_metrics().faults_delayed);
+      const std::uint64_t channel_id = ch.id;
+      loop_.post_after(plan->config().net_delay,
+                       [this, channel_id, trip, bytes = std::move(bytes)]() mutable {
+                         const auto it = channels_.find(channel_id);
+                         if (it == channels_.end() || it->second->active != trip) return;
+                         try {
+                           enqueue_bytes(*it->second, std::move(bytes));
+                         } catch (const SocketError& e) {
+                           close_channel(channel_id, e.what());
+                         }
+                       });
+      return;
+    }
+  }
+
+  try {
+    enqueue_bytes(ch, std::move(bytes));
+  } catch (const SocketError& e) {
+    close_channel(ch.id, e.what());
+  }
+}
+
+void RemoteEndpoint::enqueue_bytes(Channel& ch, std::vector<std::uint8_t> bytes) {
+  counters_->bump(counters_->frames_sent, net_metrics().frames_sent);
+  counters_->bump(counters_->bytes_sent, net_metrics().bytes_sent, bytes.size());
+  if (ch.outbox.empty()) {
+    ch.outbox = std::move(bytes);
+    ch.out_off = 0;
+  } else {
+    ch.outbox.insert(ch.outbox.end(), bytes.begin(), bytes.end());
+  }
+  flush_channel(ch);
+}
+
+void RemoteEndpoint::flush_channel(Channel& ch) {
+  while (ch.out_off < ch.outbox.size()) {
+    const std::ptrdiff_t r =
+        ch.sock.send_some(ch.outbox.data() + ch.out_off, ch.outbox.size() - ch.out_off);
+    if (r < 0) break;  // kernel buffer full: wait for POLLOUT
+    ch.out_off += static_cast<std::size_t>(r);
+  }
+  if (ch.out_off >= ch.outbox.size()) {
+    ch.outbox.clear();
+    ch.out_off = 0;
+    loop_.modify(ch.sock.fd(), POLLIN);
+  } else {
+    loop_.modify(ch.sock.fd(), POLLIN | POLLOUT);
+  }
+}
+
+void RemoteEndpoint::fail_trip(const std::shared_ptr<Trip>& trip, const std::string& error) {
+  {
+    std::lock_guard<std::mutex> lk(trip->m);
+    if (trip->done) return;
+    trip->done = true;
+    trip->result.ok = false;
+    trip->result.error = error;
+  }
+  trip->cv.notify_all();
+}
+
+void RemoteEndpoint::complete_trip(const std::shared_ptr<Trip>& trip,
+                                   std::vector<std::uint8_t> payload) {
+  {
+    std::lock_guard<std::mutex> lk(trip->m);
+    if (trip->done) return;
+    trip->done = true;
+    trip->result.ok = true;
+    trip->result.payload = std::move(payload);
+  }
+  trip->cv.notify_all();
+}
+
+bool RemoteEndpoint::wait_for_workers(std::size_t n, std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lk(workers_mutex_);
+  workers_cv_.wait_for(lk, timeout, [&] {
+    return connected_.load(std::memory_order_acquire) >= n ||
+           down_.load(std::memory_order_acquire);
+  });
+  return connected_.load(std::memory_order_acquire) >= n;
+}
+
+RemoteEndpoint::RoundTrip RemoteEndpoint::round_trip(std::vector<std::uint8_t> work,
+                                                     const std::function<bool()>& cancelled) {
+  using clock = std::chrono::steady_clock;
+  if (down_.load(std::memory_order_acquire)) {
+    return RoundTrip{false, {}, "endpoint is shut down"};
+  }
+
+  auto trip = std::make_shared<Trip>();
+  trip->work = std::move(work);
+  const auto start = clock::now();
+  const bool has_deadline = config_.round_trip_deadline.count() > 0;
+  const auto deadline = start + config_.round_trip_deadline;
+
+  loop_.post([this, trip] {
+    if (down_.load(std::memory_order_acquire)) {
+      fail_trip(trip, "endpoint is shut down");
+      return;
+    }
+    pending_trips_.push_back(trip);
+    try_dispatch();
+  });
+
+  // Wait in short slices so a killed proxy process (cancelled()) or the trip
+  // deadline can break in; both abort paths run on the loop thread so every
+  // completion is serialised there.
+  std::unique_lock<std::mutex> lk(trip->m);
+  while (!trip->done) {
+    trip->cv.wait_for(lk, std::chrono::milliseconds(50), [&] { return trip->done; });
+    if (trip->done) break;
+    const bool want_cancel = cancelled && cancelled();
+    const bool timed_out = has_deadline && clock::now() >= deadline;
+    const bool went_down = down_.load(std::memory_order_acquire) && !loop_.running();
+    if (!want_cancel && !timed_out && !went_down) continue;
+    lk.unlock();
+    if (went_down) {
+      // Loop thread is gone; nobody else can touch this trip.
+      fail_trip(trip, "endpoint is shut down");
+    } else {
+      const std::string reason = timed_out ? "round trip deadline exceeded" : "cancelled";
+      loop_.post([this, trip, reason] {
+        {
+          std::lock_guard<std::mutex> inner(trip->m);
+          if (trip->done) return;
+        }
+        if (trip->channel != 0) {
+          // In flight: kill the channel so a late Result cannot alias a
+          // future lease.  The worker reconnects with a fresh stream.
+          close_channel(trip->channel, reason);
+        } else {
+          const auto it = std::find(pending_trips_.begin(), pending_trips_.end(), trip);
+          if (it != pending_trips_.end()) pending_trips_.erase(it);
+          fail_trip(trip, reason);
+        }
+      });
+    }
+    lk.lock();
+    trip->cv.wait(lk, [&] { return trip->done; });
+    break;
+  }
+
+  RoundTrip result = std::move(trip->result);
+  lk.unlock();
+  if (result.ok) {
+    counters_->bump(counters_->round_trips_ok, net_metrics().round_trips_ok);
+    net_metrics().round_trip_seconds.observe(
+        std::chrono::duration<double>(clock::now() - start).count());
+  } else {
+    counters_->bump(counters_->round_trips_failed, net_metrics().round_trips_failed);
+  }
+  return result;
+}
+
+void RemoteEndpoint::shutdown() {
+  const bool first = !down_.exchange(true, std::memory_order_acq_rel);
+  if (first && loop_.running()) {
+    loop_.post([this] {
+      for (auto& trip : pending_trips_) fail_trip(trip, "endpoint shut down");
+      pending_trips_.clear();
+      while (!channels_.empty()) close_channel(channels_.begin()->first, "endpoint shut down");
+      if (listener_.valid()) {
+        loop_.unwatch(listener_.fd());
+        listener_.close();
+      }
+    });
+  }
+  loop_.stop();
+  {
+    std::lock_guard<std::mutex> lk(workers_mutex_);
+  }
+  workers_cv_.notify_all();
+}
+
+RemoteCounters RemoteEndpoint::counters() const {
+  RemoteCounters c;
+  c.accepts = counters_->accepts.load(std::memory_order_relaxed);
+  c.reconnects = counters_->reconnects.load(std::memory_order_relaxed);
+  c.disconnects = counters_->disconnects.load(std::memory_order_relaxed);
+  c.frames_sent = counters_->frames_sent.load(std::memory_order_relaxed);
+  c.frames_received = counters_->frames_received.load(std::memory_order_relaxed);
+  c.bytes_sent = counters_->bytes_sent.load(std::memory_order_relaxed);
+  c.bytes_received = counters_->bytes_received.load(std::memory_order_relaxed);
+  c.crc_errors = counters_->crc_errors.load(std::memory_order_relaxed);
+  c.round_trips_ok = counters_->round_trips_ok.load(std::memory_order_relaxed);
+  c.round_trips_failed = counters_->round_trips_failed.load(std::memory_order_relaxed);
+  c.faults_dropped = counters_->faults_dropped.load(std::memory_order_relaxed);
+  c.faults_delayed = counters_->faults_delayed.load(std::memory_order_relaxed);
+  c.faults_truncated = counters_->faults_truncated.load(std::memory_order_relaxed);
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Serves frames on one established connection.  Returns true for an orderly
+/// Bye (exit the worker), false to reconnect.
+bool serve_connection(Socket& sock, const WorkHandler& handler, std::size_t max_payload) {
+  FrameDecoder decoder(max_payload);
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    std::ptrdiff_t r;
+    try {
+      r = sock.recv_some(buf, sizeof buf);
+    } catch (const SocketError&) {
+      return false;
+    }
+    if (r <= 0) return false;  // EOF (blocking socket never yields -1 here)
+    decoder.feed(buf, static_cast<std::size_t>(r));
+    try {
+      while (auto frame = decoder.next()) {
+        switch (frame->header.type) {
+          case FrameType::Work: {
+            std::vector<std::uint8_t> out;
+            try {
+              std::vector<std::uint8_t> reply = handler(frame->payload);
+              out = encode_frame(FrameType::Result, frame->header.seq, reply);
+            } catch (const std::exception& e) {
+              const std::string what = e.what();
+              out = encode_frame(FrameType::Error, frame->header.seq,
+                                 reinterpret_cast<const std::uint8_t*>(what.data()),
+                                 what.size());
+            }
+            if (!send_all(sock, out.data(), out.size())) return false;
+            break;
+          }
+          case FrameType::Bye:
+            return true;
+          default:
+            return false;  // protocol violation: drop and reconnect
+        }
+      }
+    } catch (const FrameError&) {
+      return false;  // corrupt / truncated stream
+    }
+  }
+}
+
+}  // namespace
+
+int run_worker_loop(const std::string& host, std::uint16_t port, const WorkHandler& handler,
+                    WorkerLoopOptions options) {
+  std::uint64_t attempt = 0;
+  int consecutive_failures = 0;
+  for (;;) {
+    Socket sock = connect_tcp(host, port, options.connect_timeout);
+    if (!sock.valid()) {
+      if (++consecutive_failures >= options.max_connect_failures) return 0;  // master gone
+      std::this_thread::sleep_for(options.reconnect_backoff);
+      continue;
+    }
+    consecutive_failures = 0;
+
+    std::uint8_t hello[16];
+    put_u64(hello, static_cast<std::uint64_t>(::getpid()));
+    put_u64(hello + 8, attempt);
+    ++attempt;
+    const std::vector<std::uint8_t> frame = encode_frame(FrameType::Hello, 0, hello, sizeof hello);
+    if (!send_all(sock, frame.data(), frame.size())) continue;
+
+    if (serve_connection(sock, handler, options.max_payload)) return 0;
+    std::this_thread::sleep_for(options.reconnect_backoff);
+  }
+}
+
+std::vector<int> fork_worker_processes(std::size_t n, const std::function<int()>& child_main) {
+  std::vector<int> pids;
+  pids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const pid_t pid = ::fork();
+    MG_REQUIRE(pid >= 0);
+    if (pid == 0) {
+      int rc = 1;
+      try {
+        rc = child_main();
+      } catch (...) {
+        rc = 1;
+      }
+      // _exit, not exit: the child shares the parent's atexit handlers, gtest
+      // state, and (under ASan) leak-check hooks — none of which should run
+      // in a forked worker.
+      ::_exit(rc);
+    }
+    pids.push_back(static_cast<int>(pid));
+  }
+  return pids;
+}
+
+int wait_worker_processes(const std::vector<int>& pids) {
+  int worst = 0;
+  for (const int pid : pids) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0) {
+      worst = std::max(worst, 1);
+      continue;
+    }
+    if (WIFEXITED(status)) {
+      worst = std::max(worst, WEXITSTATUS(status));
+    } else if (WIFSIGNALED(status)) {
+      worst = std::max(worst, 128 + WTERMSIG(status));
+    }
+  }
+  return worst;
+}
+
+}  // namespace mg::net

@@ -1,0 +1,179 @@
+// RemoteEndpoint — the master-side network substrate that carries marshalled
+// work units to worker processes over TCP and brings their results back.
+//
+// The paper's point is that the coordination protocol does not change when
+// the transport does: ProtocolMW ran shared-memory and distributed by
+// swapping the MLINK/CONFIG mapping.  This file is that swap for the
+// reproduction.  The endpoint accepts connections from worker processes
+// (local forks or remote joins), hands each leased channel one frame-encoded
+// work unit at a time, and exposes a blocking round_trip() that the
+// remote-proxy workers of core/remote_worker.cpp call from inside the
+// unchanged protocol.  Failures are normalised to one observable — the round
+// trip fails and the channel dies — which the proxy maps onto crash_worker,
+// so the PR-3 retry/respawn/abandon machinery supervises real sockets
+// exactly as it supervised threads.
+//
+// Frame-level fault injection (drop / delay / truncate on the master's TX
+// path) reuses the seeded fault::FaultPlan: every work-frame send consumes a
+// transfer ordinal, so the set of injected faults is a pure function of the
+// seed, independent of scheduling.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace mg::net {
+
+struct RemoteEndpointConfig {
+  /// Hard cap on one lease-dispatch-collect cycle; 0 = wait forever.  This
+  /// bounds a dropped frame even when no RetryPolicy deadline is armed.
+  std::chrono::milliseconds round_trip_deadline{10'000};
+  /// Frame-level fault injection on the work path (drop / delay / truncate,
+  /// probabilities from the plan's net_* knobs).  Not owned; may be null.
+  const fault::FaultPlan* faults = nullptr;
+  std::size_t max_payload = FrameDecoder::kDefaultMaxPayload;
+};
+
+/// Point-in-time copy of the endpoint's counters (also mirrored into the
+/// global obs registry under net.*).
+struct RemoteCounters {
+  std::uint64_t accepts = 0;          ///< handshakes completed
+  std::uint64_t reconnects = 0;       ///< handshakes with connect attempt > 0
+  std::uint64_t disconnects = 0;      ///< channels closed for any reason
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t crc_errors = 0;       ///< decoder-fatal streams (CRC, magic)
+  std::uint64_t round_trips_ok = 0;
+  std::uint64_t round_trips_failed = 0;
+  std::uint64_t faults_dropped = 0;
+  std::uint64_t faults_delayed = 0;
+  std::uint64_t faults_truncated = 0;
+};
+
+class RemoteEndpoint {
+ public:
+  struct RoundTrip {
+    bool ok = false;
+    std::vector<std::uint8_t> payload;  ///< result payload when ok
+    std::string error;                  ///< failure reason otherwise
+  };
+
+  /// Adopts a bound listener (created before any worker fork; see
+  /// TcpListener) and starts the event loop.
+  explicit RemoteEndpoint(TcpListener listener, RemoteEndpointConfig config = {});
+  ~RemoteEndpoint();
+
+  RemoteEndpoint(const RemoteEndpoint&) = delete;
+  RemoteEndpoint& operator=(const RemoteEndpoint&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Channels that have completed the Hello handshake and are usable.
+  std::size_t connected() const { return connected_.load(std::memory_order_acquire); }
+
+  /// Blocks until at least n workers are connected; false on timeout.
+  bool wait_for_workers(std::size_t n, std::chrono::milliseconds timeout);
+
+  /// Leases an idle channel, sends `work` as one frame, and blocks until the
+  /// matching Result/Error frame arrives or the channel dies.  `cancelled`
+  /// (optional) is polled while waiting so a killed proxy process can
+  /// abandon the wait; a cancelled or timed-out in-flight trip closes its
+  /// channel (the worker will reconnect fresh).  Thread-safe.
+  RoundTrip round_trip(std::vector<std::uint8_t> work,
+                       const std::function<bool()>& cancelled = {});
+
+  /// Stops accepting, closes every channel (workers see EOF and eventually
+  /// give up reconnecting), fails pending trips, and joins the loop thread.
+  /// Idempotent; also run by the destructor.
+  void shutdown();
+
+  RemoteCounters counters() const;
+
+ private:
+  struct Channel;
+  struct Trip;
+
+  void setup_on_loop();
+  void on_acceptable();
+  void on_channel_io(std::uint64_t id, short revents);
+  void handle_frame(Channel& ch, Frame frame);
+  void close_channel(std::uint64_t id, const std::string& reason);
+  void try_dispatch();
+  void dispatch(Channel& ch, std::shared_ptr<Trip> trip);
+  void enqueue_bytes(Channel& ch, std::vector<std::uint8_t> bytes);
+  void flush_channel(Channel& ch);
+  void fail_trip(const std::shared_ptr<Trip>& trip, const std::string& error);
+  void complete_trip(const std::shared_ptr<Trip>& trip, std::vector<std::uint8_t> payload);
+
+  RemoteEndpointConfig config_;
+  TcpListener listener_;
+  std::uint16_t port_ = 0;
+  EventLoop loop_;
+
+  // ---- loop-thread state ----
+  std::map<std::uint64_t, std::unique_ptr<Channel>> channels_;
+  std::deque<std::shared_ptr<Trip>> pending_trips_;
+  std::uint64_t next_channel_id_ = 1;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t transfer_ordinal_ = 0;  ///< work-frame sends, for the fault plan
+
+  // ---- shared state ----
+  std::atomic<std::size_t> connected_{0};
+  std::atomic<bool> down_{false};
+  mutable std::mutex workers_mutex_;
+  std::condition_variable workers_cv_;
+
+  struct CounterCells;  // endpoint-local atomics + obs registry mirrors
+  std::unique_ptr<CounterCells> counters_;
+};
+
+/// Computes a worker's reply to one work payload.  Runs on the worker
+/// process; a thrown exception becomes an Error frame (the master retries).
+using WorkHandler =
+    std::function<std::vector<std::uint8_t>(const std::vector<std::uint8_t>& work)>;
+
+struct WorkerLoopOptions {
+  std::chrono::milliseconds connect_timeout{2'000};
+  std::chrono::milliseconds reconnect_backoff{20};
+  /// Consecutive failed connects before concluding the master is gone.
+  int max_connect_failures = 15;
+  std::size_t max_payload = FrameDecoder::kDefaultMaxPayload;
+};
+
+/// Blocking worker-process main loop: connect to the master, announce with
+/// Hello, serve Work frames until the stream breaks, reconnect (counting
+/// attempts in the Hello so the master can tally reconnects), and exit 0
+/// once the master stops answering.  Returns a process exit status.
+int run_worker_loop(const std::string& host, std::uint16_t port, const WorkHandler& handler,
+                    WorkerLoopOptions options = {});
+
+/// Forks n worker processes running child_main; each child _exits with its
+/// return value and never returns here.  Must be called while the calling
+/// process is still single-threaded (i.e. before any Runtime or
+/// RemoteEndpoint exists) — the canonical order is: bind the TcpListener,
+/// fork the workers, then construct the RemoteEndpoint.  child_main must
+/// close the inherited listener first: a child that keeps the master's
+/// listening fd open holds the port alive after the master closes it, so
+/// worker reconnects would connect to a socket nobody accepts on.
+std::vector<int> fork_worker_processes(std::size_t n, const std::function<int()>& child_main);
+
+/// Reaps the forked workers; returns the maximum exit status observed.
+int wait_worker_processes(const std::vector<int>& pids);
+
+}  // namespace mg::net

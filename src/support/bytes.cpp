@@ -63,7 +63,10 @@ std::string ByteReader::read_string() {
 
 std::vector<double> ByteReader::read_doubles() {
   const std::uint64_t n = read_u64();
-  if (n * 8 > remaining()) throw DecodeError("ByteReader: bad array length");
+  // Divide rather than multiply: a hostile length prefix near 2^61 would
+  // wrap n * 8 around to a small number and pass the check, sending a
+  // multi-exabyte reservation into std::vector.
+  if (n > remaining() / 8) throw DecodeError("ByteReader: bad array length");
   std::vector<double> v(n);
   for (auto& x : v) x = read_f64();
   return v;

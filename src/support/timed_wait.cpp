@@ -1,0 +1,38 @@
+#include "support/timed_wait.hpp"
+
+#include <atomic>
+
+namespace mg::support {
+
+namespace {
+
+class RealWaitClock final : public WaitClock {
+ public:
+  std::chrono::steady_clock::time_point now() override {
+    return std::chrono::steady_clock::now();
+  }
+
+  std::cv_status wait_until(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                            std::chrono::steady_clock::time_point deadline) override {
+    return cv.wait_until(lock, deadline);
+  }
+};
+
+std::atomic<WaitClock*>& installed() {
+  static std::atomic<WaitClock*> clock{nullptr};
+  return clock;
+}
+
+}  // namespace
+
+WaitClock& wait_clock() {
+  static RealWaitClock real;
+  WaitClock* override_clock = installed().load(std::memory_order_acquire);
+  return override_clock != nullptr ? *override_clock : real;
+}
+
+WaitClock* exchange_wait_clock(WaitClock* clock) {
+  return installed().exchange(clock, std::memory_order_acq_rel);
+}
+
+}  // namespace mg::support

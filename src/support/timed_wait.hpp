@@ -1,0 +1,43 @@
+// Clock seam for condition-variable timed waits.
+//
+// Port::read_for and EventMemory::await_for implement the same discipline —
+// compute the deadline once, re-check state after every wake, and only give
+// up when the *deadline* has passed, so spurious wakeups neither shorten nor
+// extend the wait.  That discipline is untestable against the real clock
+// (a test cannot schedule a spurious wake at a chosen instant), so both
+// paths take their notion of "now" and their cv wait through this seam; a
+// test installs a virtual clock and steps time explicitly.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace mg::support {
+
+class WaitClock {
+ public:
+  virtual ~WaitClock() = default;
+
+  virtual std::chrono::steady_clock::time_point now() = 0;
+
+  /// Blocks on `cv` until notified or `deadline` (by this clock's reckoning).
+  /// The real clock forwards to cv.wait_until; a virtual clock typically
+  /// waits for an explicit test-side step.  Returns std::cv_status::timeout
+  /// when the deadline caused the return.
+  virtual std::cv_status wait_until(std::condition_variable& cv,
+                                    std::unique_lock<std::mutex>& lock,
+                                    std::chrono::steady_clock::time_point deadline) = 0;
+};
+
+/// The clock timed waits consult: the real steady clock unless a test has
+/// installed a replacement.
+WaitClock& wait_clock();
+
+/// Test hook: installs `clock` as the process-wide wait clock (nullptr
+/// restores the real one) and returns the previously installed replacement
+/// (nullptr if none).  Not for concurrent use with active waiters of the
+/// *old* clock — swap while quiescent.
+WaitClock* exchange_wait_clock(WaitClock* clock);
+
+}  // namespace mg::support

@@ -4,16 +4,20 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <deque>
+#include <functional>
 #include <set>
 #include <thread>
 
 #include "manifold/builtins.hpp"
 #include "manifold/event.hpp"
+#include "manifold/port.hpp"
 #include "manifold/process.hpp"
 #include "manifold/runtime.hpp"
 #include "manifold/state_scope.hpp"
 #include "manifold/task.hpp"
 #include "support/check.hpp"
+#include "support/timed_wait.hpp"
 
 namespace {
 
@@ -522,6 +526,177 @@ TEST(Builtins, PrinterCountsUnits) {
     std::this_thread::sleep_for(5ms);
   }
   EXPECT_EQ(printer.printed->load(), 4u);
+}
+
+// ---- timed waits under a virtual clock -------------------------------------------
+//
+// Port::read_for and EventMemory::await_for promise: spurious wakeups
+// neither shorten nor extend the wait, a deposit that lands during the wait
+// is taken, and a deposit racing the deadline is taken rather than dropped.
+// None of that is testable against the real clock, so these tests install a
+// scripted WaitClock (support/timed_wait) and drive the wait loop with
+// explicit virtual time.
+
+/// A wait clock that executes one scripted action per wait_until call: jump
+/// virtual time forward, optionally run a side effect (a deposit) while the
+/// waiter's lock is released — exactly the window a real cv wait opens — and
+/// report the scripted cv_status.  Once the script runs dry, every further
+/// wait jumps straight to its deadline.
+class ScriptedClock : public mg::support::WaitClock {
+ public:
+  struct Step {
+    std::chrono::milliseconds advance{0};
+    std::cv_status status = std::cv_status::no_timeout;  // how the wake looks
+    std::function<void()> side_effect;                   // runs with the lock released
+  };
+
+  std::chrono::steady_clock::time_point now() override {
+    std::lock_guard<std::mutex> lk(m_);
+    return now_;
+  }
+
+  std::cv_status wait_until(std::condition_variable&, std::unique_lock<std::mutex>& lock,
+                            std::chrono::steady_clock::time_point deadline) override {
+    Step step;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      ++waits_;
+      if (script_.empty()) {
+        now_ = std::max(now_, deadline);
+        return std::cv_status::timeout;
+      }
+      step = std::move(script_.front());
+      script_.pop_front();
+      now_ += step.advance;
+    }
+    if (step.side_effect) {
+      // The waiter's mutex is released for the duration of a real cv wait;
+      // model that window so the side effect can deposit into the same
+      // port/memory without self-deadlock.
+      lock.unlock();
+      step.side_effect();
+      lock.lock();
+    }
+    return step.status;
+  }
+
+  void push(Step step) {
+    std::lock_guard<std::mutex> lk(m_);
+    script_.push_back(std::move(step));
+  }
+  int waits() const {
+    std::lock_guard<std::mutex> lk(m_);
+    return waits_;
+  }
+
+ private:
+  mutable std::mutex m_;
+  std::chrono::steady_clock::time_point now_{};  // virtual epoch
+  std::deque<Step> script_;
+  int waits_ = 0;
+};
+
+struct ScopedWaitClock {
+  explicit ScopedWaitClock(mg::support::WaitClock* clock)
+      : previous(mg::support::exchange_wait_clock(clock)) {}
+  ~ScopedWaitClock() { mg::support::exchange_wait_clock(previous); }
+  mg::support::WaitClock* previous;
+};
+
+TEST(TimedWait, SpuriousWakesNeitherShortenNorExtendReadFor) {
+  ScriptedClock clock;
+  ScopedWaitClock guard(&clock);
+  // Three spurious wakes that advance no time, then the script runs dry and
+  // the fourth wait lands exactly on the deadline.
+  for (int i = 0; i < 3; ++i) clock.push({0ms, std::cv_status::no_timeout, {}});
+
+  Port port(nullptr, "in", Port::Direction::In);
+  const auto start = clock.now();
+  EXPECT_FALSE(port.read_for(100ms).has_value());
+  EXPECT_EQ(clock.now() - start, 100ms);  // full wait served, not a tick more
+  EXPECT_EQ(clock.waits(), 4);            // every spurious wake went back to waiting
+}
+
+TEST(TimedWait, DepositDuringTheWaitIsTakenEarly) {
+  ScriptedClock clock;
+  ScopedWaitClock guard(&clock);
+  Port port(nullptr, "in", Port::Direction::In);
+  clock.push({30ms, std::cv_status::no_timeout, [&port] { port.deposit(Unit::of(std::int64_t{7})); }});
+
+  const auto start = clock.now();
+  const auto unit = port.read_for(100ms);
+  ASSERT_TRUE(unit.has_value());
+  EXPECT_EQ(unit->as<std::int64_t>(), 7);
+  EXPECT_EQ(clock.now() - start, 30ms);  // returned at the deposit, not the deadline
+  EXPECT_EQ(clock.waits(), 1);
+}
+
+TEST(TimedWait, DepositRacingTheDeadlineIsTakenNotDropped) {
+  // The wake reports timeout and virtual time is already past the deadline,
+  // but a unit arrived in the release window: read_for must re-check the
+  // queue before concluding "expired".
+  ScriptedClock clock;
+  ScopedWaitClock guard(&clock);
+  Port port(nullptr, "in", Port::Direction::In);
+  clock.push({200ms, std::cv_status::timeout, [&port] { port.deposit(Unit::of(std::int64_t{9})); }});
+
+  const auto unit = port.read_for(100ms);
+  ASSERT_TRUE(unit.has_value());
+  EXPECT_EQ(unit->as<std::int64_t>(), 9);
+}
+
+TEST(TimedWait, AlreadyQueuedUnitReturnsWithoutWaiting) {
+  ScriptedClock clock;
+  ScopedWaitClock guard(&clock);
+  Port port(nullptr, "in", Port::Direction::In);
+  port.deposit(Unit::of(std::int64_t{1}));
+  EXPECT_TRUE(port.read_for(100ms).has_value());
+  EXPECT_EQ(clock.waits(), 0);
+}
+
+TEST(TimedWait, ZeroTimeoutExpiresWithoutWaiting) {
+  ScriptedClock clock;
+  ScopedWaitClock guard(&clock);
+  Port port(nullptr, "in", Port::Direction::In);
+  EXPECT_FALSE(port.read_for(0ms).has_value());
+  EXPECT_EQ(clock.waits(), 0);
+}
+
+TEST(TimedWait, AwaitForObeysTheSameDisciplineAsReadFor) {
+  ScriptedClock clock;
+  ScopedWaitClock guard(&clock);
+  EventMemory mem;
+  // One spurious wake, then a deposit mid-wait.
+  clock.push({10ms, std::cv_status::no_timeout, {}});
+  clock.push({20ms, std::cv_status::no_timeout, [&mem] { mem.deposit({"go", 3, "src"}); }});
+
+  const auto start = clock.now();
+  const auto occ = mem.await_for({{"go", std::nullopt}}, 100ms);
+  ASSERT_TRUE(occ.has_value());
+  EXPECT_EQ(occ->event, "go");
+  EXPECT_EQ(clock.now() - start, 30ms);
+  EXPECT_EQ(clock.waits(), 2);
+}
+
+TEST(TimedWait, AwaitForTakesADepositRacingTheDeadline) {
+  ScriptedClock clock;
+  ScopedWaitClock guard(&clock);
+  EventMemory mem;
+  clock.push({500ms, std::cv_status::timeout, [&mem] { mem.deposit({"late", 1, ""}); }});
+  const auto occ = mem.await_for({{"late", std::nullopt}}, 100ms);
+  ASSERT_TRUE(occ.has_value());
+  EXPECT_EQ(occ->event, "late");
+}
+
+TEST(TimedWait, AwaitForServesTheFullDeadlineUnderSpuriousWakes) {
+  ScriptedClock clock;
+  ScopedWaitClock guard(&clock);
+  EventMemory mem;
+  for (int i = 0; i < 5; ++i) clock.push({0ms, std::cv_status::no_timeout, {}});
+  const auto start = clock.now();
+  EXPECT_FALSE(mem.await_for({{"never", std::nullopt}}, 64ms).has_value());
+  EXPECT_EQ(clock.now() - start, 64ms);
+  EXPECT_EQ(clock.waits(), 6);
 }
 
 }  // namespace

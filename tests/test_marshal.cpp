@@ -1,11 +1,16 @@
 // Tests for the byte codec and the master/worker unit marshalling, including
 // the end-to-end claim: results remain bit-identical to the sequential run
-// even when every unit crosses a (simulated) wire.
+// even when every unit crosses a (simulated) wire — plus the property/fuzz
+// suite the real TCP transport demands: a decoder fed hostile bytes (the
+// frame layer's CRC can miss a coordinated corruption; an attacker-shaped
+// length prefix can't be ruled out) must reject, never crash.
 #include <gtest/gtest.h>
 
 #include "core/concurrent_solver.hpp"
 #include "core/marshal.hpp"
 #include "support/bytes.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
 #include "transport/seq_solver.hpp"
 #include "transport/subsolve.hpp"
 
@@ -126,6 +131,150 @@ TEST(Marshal, PayloadEstimateIsTheRightScale) {
       EXPECT_LT(actual, 2 * estimate);
     }
   }
+}
+
+// ---- property/fuzz suite ------------------------------------------------------------
+
+// Random doubles with arbitrary bit patterns (including NaNs, infinities and
+// denormals), not just uniform values: the codec must be a bijection on the
+// raw 64-bit payloads.
+double bits_to_double(std::uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+mw::WorkItem random_work_item(support::Xoshiro256& rng) {
+  mw::WorkItem item{};
+  item.index = rng.below(1u << 20);
+  item.root = static_cast<int>(rng.below(6)) + 1;
+  item.lx = static_cast<int>(rng.below(6));
+  item.ly = static_cast<int>(rng.below(6));
+  auto& k = item.config;
+  k.problem.ax = bits_to_double(rng.next());
+  k.problem.ay = bits_to_double(rng.next());
+  k.problem.eps = rng.uniform(1e-6, 1.0);
+  k.problem.x0 = rng.uniform01();
+  k.problem.y0 = rng.uniform01();
+  k.problem.sigma = bits_to_double(rng.next());
+  k.problem.amplitude = bits_to_double(rng.next());
+  k.system.scheme = static_cast<transport::AdvectionScheme>(rng.below(3));
+  k.system.solver = static_cast<transport::StageSolverKind>(rng.below(3));
+  k.system.krylov.rel_tol = rng.uniform(1e-12, 1e-2);
+  k.system.krylov.abs_tol = rng.uniform(1e-14, 1e-4);
+  k.system.krylov.max_iter = rng.below(10'000);
+  k.system.cache_stage = rng.below(2) == 1;
+  k.system.warm_start = rng.below(2) == 1;
+  k.le_tol = bits_to_double(rng.next());
+  k.t0 = rng.uniform01();
+  k.t1 = rng.uniform(1.0, 2.0);
+  return item;
+}
+
+mw::ResultItem random_result_item(support::Xoshiro256& rng) {
+  mw::ResultItem item{};
+  item.index = rng.below(1u << 20);
+  item.node_data.resize(rng.below(65));
+  for (double& x : item.node_data) x = bits_to_double(rng.next());
+  item.stats.accepted = rng.below(1'000);
+  item.stats.rejected = rng.below(1'000);
+  item.stats.rhs_evaluations = rng.below(100'000);
+  item.stats.stage_preparations = rng.below(10'000);
+  item.stats.stage_solves = rng.below(10'000);
+  item.stats.final_h = bits_to_double(rng.next());
+  item.elapsed_seconds = bits_to_double(rng.next());
+  return item;
+}
+
+TEST(MarshalFuzz, TenThousandSeededRoundTripsAreBitExact) {
+  // encode -> decode -> re-encode must reproduce the exact byte string; the
+  // byte-level comparison sidesteps NaN != NaN while still proving every
+  // payload bit survived both directions.
+  support::Xoshiro256 rng(20040916);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const auto work_bytes = mw::encode_work_item(random_work_item(rng));
+    EXPECT_EQ(mw::encode_work_item(mw::decode_work_item(work_bytes)), work_bytes)
+        << "work item trial " << trial;
+    const auto result_bytes = mw::encode_result_item(random_result_item(rng));
+    EXPECT_EQ(mw::encode_result_item(mw::decode_result_item(result_bytes)), result_bytes)
+        << "result item trial " << trial;
+  }
+}
+
+TEST(MarshalFuzz, EveryTruncationRejectsWithoutCrashing) {
+  support::Xoshiro256 rng(7);
+  const auto work_bytes = mw::encode_work_item(random_work_item(rng));
+  const auto result_bytes = mw::encode_result_item(random_result_item(rng));
+  for (std::size_t len = 0; len < work_bytes.size(); ++len) {
+    const std::vector<std::uint8_t> cut(work_bytes.begin(),
+                                        work_bytes.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(mw::decode_work_item(cut), std::exception) << "work prefix " << len;
+  }
+  for (std::size_t len = 0; len < result_bytes.size(); ++len) {
+    const std::vector<std::uint8_t> cut(result_bytes.begin(),
+                                        result_bytes.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(mw::decode_result_item(cut), std::exception) << "result prefix " << len;
+  }
+}
+
+TEST(MarshalFuzz, BitFlippedBuffersRejectOrDecodeNeverCrash) {
+  // Flip one random bit per trial.  Depending on where it lands the decode
+  // may legitimately succeed (a mutated double payload) or must reject
+  // (DecodeError / ContractViolation); what it may never do is crash, hang,
+  // or throw an unrelated type.  Runs the work and result codecs 5k trials
+  // each — together with the round-trip suite this is the 10k-trial fuzz
+  // budget.
+  support::Xoshiro256 rng(424242);
+  for (int trial = 0; trial < 5000; ++trial) {
+    auto work_bytes = mw::encode_work_item(random_work_item(rng));
+    work_bytes[rng.below(work_bytes.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.below(8));
+    try {
+      (void)mw::decode_work_item(work_bytes);
+    } catch (const support::DecodeError&) {
+    } catch (const support::ContractViolation&) {
+    }
+
+    auto result_bytes = mw::encode_result_item(random_result_item(rng));
+    result_bytes[rng.below(result_bytes.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.below(8));
+    try {
+      (void)mw::decode_result_item(result_bytes);
+    } catch (const support::DecodeError&) {
+    } catch (const support::ContractViolation&) {
+    }
+  }
+}
+
+TEST(MarshalFuzz, OverflowingLengthPrefixIsRejected) {
+  // Regression: a length prefix of 2^61 used to wrap the `n * 8` bound check
+  // around to zero and send a multi-exabyte resize into std::vector.  The
+  // divide-based check must reject it as a DecodeError instead.
+  ByteWriter w;
+  w.write_u64(0x2000000000000000ULL);
+  w.write_f64(1.0);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_THROW(r.read_doubles(), DecodeError);
+
+  // Same shape through the public result codec: index, then hostile length.
+  ByteWriter rw;
+  rw.write_u64(0);
+  rw.write_u64(0x2000000000000001ULL);
+  EXPECT_THROW(mw::decode_result_item(rw.take()), DecodeError);
+}
+
+TEST(MarshalFuzz, OutOfRangeEnumsAreRejected) {
+  support::Xoshiro256 rng(99);
+  const auto valid = mw::encode_work_item(random_work_item(rng));
+  // scheme lives right after index(8) + root/lx/ly(12) + seven f64s(56).
+  const std::size_t scheme_off = 8 + 12 + 56;
+  auto bad_scheme = valid;
+  bad_scheme[scheme_off] = 0x7F;
+  EXPECT_THROW(mw::decode_work_item(bad_scheme), DecodeError);
+  auto bad_solver = valid;
+  bad_solver[scheme_off + 4] = 0xFF;  // solver = 255, far out of range
+  EXPECT_THROW(mw::decode_work_item(bad_solver), DecodeError);
 }
 
 TEST(Marshal, SolverThroughWireIsStillBitExact) {

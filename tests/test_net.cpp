@@ -1,0 +1,360 @@
+// Tier-1 tests for the network substrate: CRC32 vectors, frame codec and
+// decoder resynchronisation behaviour, the poll() event loop's posting and
+// timer contracts, and RemoteEndpoint round trips against in-process worker
+// threads (no fork — the multi-process soak lives in test_net_soak.cpp).
+#include <gtest/gtest.h>
+
+#include <poll.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "net/crc32.hpp"
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "net/remote.hpp"
+#include "net/socket.hpp"
+
+namespace {
+
+using namespace mg;
+using namespace std::chrono_literals;
+
+// ---- crc32 --------------------------------------------------------------------------
+
+TEST(Crc32, MatchesTheIeeeCheckValue) {
+  // The canonical CRC-32/ISO-HDLC check input.
+  const char* s = "123456789";
+  EXPECT_EQ(net::crc32(s, 9), 0xCBF43926u);
+}
+
+TEST(Crc32, SeedChainsIncrementalComputation) {
+  const char* s = "123456789";
+  const std::uint32_t whole = net::crc32(s, 9);
+  const std::uint32_t part = net::crc32(s + 4, 5, net::crc32(s, 4));
+  EXPECT_EQ(part, whole);
+}
+
+TEST(Crc32, EmptyInputIsZero) { EXPECT_EQ(net::crc32("", 0), 0u); }
+
+// ---- frame codec --------------------------------------------------------------------
+
+std::vector<std::uint8_t> payload_of(std::size_t n, std::uint8_t fill = 0xAB) {
+  return std::vector<std::uint8_t>(n, fill);
+}
+
+TEST(Frame, RoundTripsThroughTheDecoder) {
+  const auto payload = payload_of(1000, 0x5C);
+  const auto bytes = net::encode_frame(net::FrameType::Work, 42, payload);
+  ASSERT_EQ(bytes.size(), net::FrameHeader::kWireSize + payload.size());
+
+  net::FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->header.type, net::FrameType::Work);
+  EXPECT_EQ(frame->header.seq, 42u);
+  EXPECT_EQ(frame->payload, payload);
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(Frame, SurvivesByteAtATimeDelivery) {
+  // TCP may hand the stream over in arbitrary fragments; the decoder must
+  // reassemble regardless of the read sizes.
+  const auto payload = payload_of(257, 0x11);
+  const auto bytes = net::encode_frame(net::FrameType::Result, 7, payload);
+  net::FrameDecoder decoder;
+  std::size_t frames = 0;
+  for (const std::uint8_t b : bytes) {
+    decoder.feed(&b, 1);
+    while (decoder.next()) ++frames;
+  }
+  EXPECT_EQ(frames, 1u);
+}
+
+TEST(Frame, DecodesBackToBackFramesInOrder) {
+  std::vector<std::uint8_t> stream;
+  for (std::uint64_t seq = 1; seq <= 5; ++seq) {
+    const auto f = net::encode_frame(net::FrameType::Work, seq, payload_of(seq * 10));
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  net::FrameDecoder decoder;
+  decoder.feed(stream.data(), stream.size());
+  for (std::uint64_t seq = 1; seq <= 5; ++seq) {
+    const auto frame = decoder.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->header.seq, seq);
+    EXPECT_EQ(frame->payload.size(), seq * 10);
+  }
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(Frame, BadMagicIsConnectionFatal) {
+  auto bytes = net::encode_frame(net::FrameType::Hello, 1, payload_of(4));
+  bytes[0] ^= 0xFF;
+  net::FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  EXPECT_THROW(decoder.next(), net::FrameError);
+}
+
+TEST(Frame, HeaderCorruptionFailsTheHeaderCrc) {
+  // Flip a bit in the seq field: the payload CRC can't see it, the header
+  // CRC must.
+  auto bytes = net::encode_frame(net::FrameType::Work, 0x0123456789ABCDEFULL, payload_of(16));
+  bytes[10] ^= 0x01;
+  net::FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  EXPECT_THROW(decoder.next(), net::FrameError);
+}
+
+TEST(Frame, PayloadCorruptionFailsThePayloadCrc) {
+  auto bytes = net::encode_frame(net::FrameType::Work, 9, payload_of(64));
+  bytes[net::FrameHeader::kWireSize + 20] ^= 0x80;
+  net::FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  EXPECT_THROW(decoder.next(), net::FrameError);
+}
+
+TEST(Frame, IncompleteFrameWaitsForMoreBytes) {
+  const auto bytes = net::encode_frame(net::FrameType::Work, 3, payload_of(100));
+  net::FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size() - 1);
+  EXPECT_FALSE(decoder.next().has_value());  // not an error: just not done
+  decoder.feed(bytes.data() + bytes.size() - 1, 1);
+  EXPECT_TRUE(decoder.next().has_value());
+}
+
+TEST(Frame, OversizedPayloadDeclarationIsRejected) {
+  const auto bytes = net::encode_frame(net::FrameType::Work, 1, payload_of(512));
+  net::FrameDecoder decoder(256);  // max payload below the declared size
+  decoder.feed(bytes.data(), bytes.size());
+  EXPECT_THROW(decoder.next(), net::FrameError);
+}
+
+// ---- event loop ---------------------------------------------------------------------
+
+TEST(EventLoop, PostedClosuresRunOnTheLoopThread) {
+  net::EventLoop loop;
+  loop.start();
+  std::atomic<bool> ran{false};
+  std::atomic<bool> on_loop{false};
+  loop.post([&] {
+    on_loop.store(loop.on_loop_thread());
+    ran.store(true);
+  });
+  for (int i = 0; i < 200 && !ran.load(); ++i) std::this_thread::sleep_for(5ms);
+  EXPECT_TRUE(ran.load());
+  EXPECT_TRUE(on_loop.load());
+  loop.stop();
+}
+
+TEST(EventLoop, TimersFireAndCancelledTimersDoNot) {
+  net::EventLoop loop;
+  loop.start();
+  std::atomic<int> fired{0};
+  loop.post_after(30ms, [&] { fired.fetch_add(1); });
+  const std::uint64_t doomed = loop.post_after(30ms, [&] { fired.fetch_add(100); });
+  loop.cancel_timer(doomed);
+  std::this_thread::sleep_for(150ms);
+  EXPECT_EQ(fired.load(), 1);
+  loop.stop();
+}
+
+TEST(EventLoop, WatchDispatchesReadableFds) {
+  net::TcpListener listener("127.0.0.1", 0);
+  net::EventLoop loop;
+  loop.start();
+  std::atomic<bool> accepted{false};
+  loop.post([&] {
+    listener.set_nonblocking(true);
+    loop.watch(listener.fd(), POLLIN, [&](short) {
+      net::Socket s = listener.accept();
+      if (s.valid()) accepted.store(true);
+    });
+  });
+  net::Socket client = net::connect_tcp("127.0.0.1", listener.port(), 1s);
+  ASSERT_TRUE(client.valid());
+  for (int i = 0; i < 200 && !accepted.load(); ++i) std::this_thread::sleep_for(5ms);
+  EXPECT_TRUE(accepted.load());
+  loop.post([&] { loop.unwatch(listener.fd()); });
+  loop.stop();
+}
+
+// ---- endpoint round trips (in-process workers) --------------------------------------
+
+/// Runs run_worker_loop on a plain thread in this process — the loopback
+/// equivalent of a remote worker, cheap enough for tier 1.
+struct WorkerThread {
+  std::thread thread;
+
+  WorkerThread(std::uint16_t port, net::WorkHandler handler) {
+    net::WorkerLoopOptions options;
+    options.max_connect_failures = 10;
+    options.reconnect_backoff = 10ms;
+    thread = std::thread([port, handler = std::move(handler), options] {
+      net::run_worker_loop("127.0.0.1", port, handler, options);
+    });
+  }
+  ~WorkerThread() { thread.join(); }
+};
+
+net::WorkHandler echo_handler() {
+  return [](const std::vector<std::uint8_t>& work) {
+    std::vector<std::uint8_t> reply(work.rbegin(), work.rend());
+    return reply;
+  };
+}
+
+TEST(RemoteEndpoint, RoundTripsWorkToAWorkerAndBack) {
+  net::RemoteEndpoint endpoint(net::TcpListener("127.0.0.1", 0));
+  WorkerThread worker(endpoint.port(), echo_handler());
+  ASSERT_TRUE(endpoint.wait_for_workers(1, 5s));
+
+  const std::vector<std::uint8_t> work{1, 2, 3, 4, 5};
+  const auto trip = endpoint.round_trip(work);
+  ASSERT_TRUE(trip.ok) << trip.error;
+  EXPECT_EQ(trip.payload, (std::vector<std::uint8_t>{5, 4, 3, 2, 1}));
+
+  const net::RemoteCounters c = endpoint.counters();
+  EXPECT_EQ(c.accepts, 1u);
+  EXPECT_EQ(c.round_trips_ok, 1u);
+  EXPECT_EQ(c.round_trips_failed, 0u);
+  EXPECT_GE(c.frames_sent, 1u);
+  EXPECT_GE(c.frames_received, 2u);  // Hello + Result
+  endpoint.shutdown();
+}
+
+TEST(RemoteEndpoint, ManyTripsInterleaveAcrossWorkers) {
+  net::RemoteEndpoint endpoint(net::TcpListener("127.0.0.1", 0));
+  WorkerThread w1(endpoint.port(), echo_handler());
+  WorkerThread w2(endpoint.port(), echo_handler());
+  ASSERT_TRUE(endpoint.wait_for_workers(2, 5s));
+
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&endpoint, &failures, t] {
+      for (int i = 0; i < 25; ++i) {
+        const std::vector<std::uint8_t> work{static_cast<std::uint8_t>(t),
+                                             static_cast<std::uint8_t>(i)};
+        const auto trip = endpoint.round_trip(work);
+        if (!trip.ok || trip.payload != std::vector<std::uint8_t>{work[1], work[0]}) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(endpoint.counters().round_trips_ok, 100u);
+  endpoint.shutdown();
+}
+
+TEST(RemoteEndpoint, DeadlineFailsTheTripWhenNoWorkerEverArrives) {
+  net::RemoteEndpointConfig config;
+  config.round_trip_deadline = 150ms;
+  net::RemoteEndpoint endpoint(net::TcpListener("127.0.0.1", 0), config);
+  const auto trip = endpoint.round_trip({1, 2, 3});
+  EXPECT_FALSE(trip.ok);
+  EXPECT_EQ(endpoint.counters().round_trips_failed, 1u);
+  endpoint.shutdown();
+}
+
+TEST(RemoteEndpoint, CancellationHookAbandonsTheWait) {
+  net::RemoteEndpoint endpoint(net::TcpListener("127.0.0.1", 0));
+  std::atomic<bool> cancel{false};
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(100ms);
+    cancel.store(true);
+  });
+  const auto start = std::chrono::steady_clock::now();
+  const auto trip = endpoint.round_trip({9}, [&] { return cancel.load(); });
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  canceller.join();
+  EXPECT_FALSE(trip.ok);
+  EXPECT_LT(elapsed, 5s);  // broke out long before the 10 s default deadline
+  endpoint.shutdown();
+}
+
+TEST(RemoteEndpoint, WorkerExceptionFailsTheTripButKeepsTheChannel) {
+  net::RemoteEndpoint endpoint(net::TcpListener("127.0.0.1", 0));
+  std::atomic<int> calls{0};
+  WorkerThread worker(endpoint.port(), [&calls](const std::vector<std::uint8_t>& work) {
+    if (calls.fetch_add(1) == 0) throw std::runtime_error("compute exploded");
+    return work;
+  });
+  ASSERT_TRUE(endpoint.wait_for_workers(1, 5s));
+
+  const auto failed = endpoint.round_trip({1});
+  EXPECT_FALSE(failed.ok);
+  EXPECT_NE(failed.error.find("compute exploded"), std::string::npos) << failed.error;
+
+  // The worker is still connected — the next trip reuses the same channel.
+  const auto ok = endpoint.round_trip({2});
+  EXPECT_TRUE(ok.ok) << ok.error;
+  EXPECT_EQ(endpoint.counters().disconnects, 0u);
+  endpoint.shutdown();
+}
+
+TEST(RemoteEndpoint, DroppedFramesTimeOutAndTheWorkerReconnects) {
+  fault::FaultPlanConfig fault_config;
+  fault_config.seed = 5;
+  fault_config.net_drop = 1.0;  // every Work frame vanishes
+  const fault::FaultPlan plan(fault_config);
+
+  net::RemoteEndpointConfig config;
+  config.round_trip_deadline = 200ms;
+  config.faults = &plan;
+  net::RemoteEndpoint endpoint(net::TcpListener("127.0.0.1", 0), config);
+  WorkerThread worker(endpoint.port(), echo_handler());
+  ASSERT_TRUE(endpoint.wait_for_workers(1, 5s));
+
+  const auto trip = endpoint.round_trip({1, 2, 3});
+  EXPECT_FALSE(trip.ok);
+  const net::RemoteCounters c = endpoint.counters();
+  EXPECT_EQ(c.faults_dropped, 1u);
+  EXPECT_EQ(c.round_trips_failed, 1u);
+  // The deadline killed the channel; the worker must come back on its own.
+  EXPECT_TRUE(endpoint.wait_for_workers(1, 5s));
+  EXPECT_GE(endpoint.counters().reconnects, 1u);
+  endpoint.shutdown();
+}
+
+TEST(RemoteEndpoint, TruncatedFramesAreDetectedByTheWorkerDecoder) {
+  fault::FaultPlanConfig fault_config;
+  fault_config.seed = 11;
+  fault_config.net_truncate = 1.0;
+  const fault::FaultPlan plan(fault_config);
+
+  net::RemoteEndpointConfig config;
+  config.round_trip_deadline = 2s;
+  config.faults = &plan;
+  net::RemoteEndpoint endpoint(net::TcpListener("127.0.0.1", 0), config);
+  WorkerThread worker(endpoint.port(), echo_handler());
+  ASSERT_TRUE(endpoint.wait_for_workers(1, 5s));
+
+  const auto trip = endpoint.round_trip({1, 2, 3, 4});
+  EXPECT_FALSE(trip.ok);
+  EXPECT_EQ(endpoint.counters().faults_truncated, 1u);
+  // Truncation closes the channel immediately — the trip fails fast, without
+  // waiting out the deadline, and the worker reconnects.
+  EXPECT_TRUE(endpoint.wait_for_workers(1, 5s));
+  endpoint.shutdown();
+}
+
+TEST(RemoteEndpoint, ShutdownFailsInFlightTripsInsteadOfHanging) {
+  net::RemoteEndpoint endpoint(net::TcpListener("127.0.0.1", 0));
+  std::thread shutter([&] {
+    std::this_thread::sleep_for(100ms);
+    endpoint.shutdown();
+  });
+  const auto trip = endpoint.round_trip({1});
+  shutter.join();
+  EXPECT_FALSE(trip.ok);
+  // After shutdown every further trip fails immediately.
+  EXPECT_FALSE(endpoint.round_trip({2}).ok);
+}
+
+}  // namespace

@@ -4,11 +4,15 @@
 // primitive, and the LPT dispatch order.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstddef>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/concurrent_solver.hpp"
+#include "core/remote_worker.hpp"
+#include "net/remote.hpp"
 #include "grid/combination.hpp"
 #include "grid/grid2d.hpp"
 #include "linalg/csr.hpp"
@@ -359,6 +363,101 @@ TEST(LptOrder, ReorderingDoesNotChangeTheConcurrentResult) {
   const auto a = mw::solve_concurrent(program, in_order);
   const auto b = mw::solve_concurrent(program, heaviest_first);
   EXPECT_EQ(a.solve.combined.max_diff(b.solve.combined), 0.0);
+}
+
+// ---- LPT dispatch over the TCP substrate -----------------------------------------
+
+// In-process subsolve workers: run_subsolve_worker on plain threads over
+// loopback, so these stay tier-1 (the forked-process variants live in
+// test_net_soak.cpp).  The threads join once the endpoint shuts down and the
+// workers give up reconnecting.
+struct SubsolveWorkers {
+  std::vector<std::thread> threads;
+
+  SubsolveWorkers(std::uint16_t port, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      threads.emplace_back([port] { mw::run_subsolve_worker("127.0.0.1", port); });
+    }
+  }
+  ~SubsolveWorkers() {
+    for (auto& t : threads) t.join();
+  }
+};
+
+// TCP completions come back in whatever order the workers finish; a net_slow
+// plan delays a seeded subset of Work frames to force an order that differs
+// from the LPT dispatch order.  Results are keyed by term index, so the
+// combined output must match both the sequential program and the threaded
+// LPT backend bit for bit.
+TEST(LptOrder, TcpCompletionReorderKeepsLptResultBitExact) {
+  transport::ProgramConfig program;
+  program.root = 2;
+  program.level = 2;
+  const auto seq = transport::solve_sequential(program);
+  mw::ConcurrentOptions threaded;
+  threaded.lpt_schedule = true;
+  const auto reference = mw::solve_concurrent(program, threaded);
+
+  fault::FaultPlanConfig fault_config;
+  fault_config.seed = 21;
+  fault_config.net_slow = 0.5;  // delay only — no failures, pure reordering
+  fault_config.net_delay = std::chrono::milliseconds(25);
+  const fault::FaultPlan plan(fault_config);
+
+  net::RemoteEndpointConfig config;
+  config.faults = &plan;
+  net::RemoteEndpoint endpoint(net::TcpListener("127.0.0.1", 0), config);
+  SubsolveWorkers workers(endpoint.port(), 3);
+  ASSERT_TRUE(endpoint.wait_for_workers(3, std::chrono::seconds(10)));
+
+  mw::ConcurrentOptions options;
+  options.lpt_schedule = true;
+  options.remote = &endpoint;
+  options.retry = fault::RetryPolicy{};
+  const auto remote = mw::solve_concurrent(program, options);
+
+  EXPECT_GT(endpoint.counters().faults_delayed, 0u);
+  EXPECT_EQ(endpoint.counters().round_trips_failed, 0u);
+  EXPECT_EQ(remote.solve.combined.max_diff(seq.combined), 0.0);
+  EXPECT_EQ(remote.solve.combined.max_diff(reference.solve.combined), 0.0);
+  endpoint.shutdown();
+}
+
+// The degraded-pool regression of AbandonedSlotsMapBackToTheRightTermsUnderLpt,
+// but with the crashes coming from the transport: every Work frame is
+// dropped, every slot abandons after its first failed round trip, and the
+// WorkAbandoned pool_slot must still map through lpt_order to the right term
+// when the master recomputes locally.
+TEST(LptOrder, TcpDegradedPoolMapsAbandonedSlotsToTheRightTerms) {
+  transport::ProgramConfig program;
+  program.root = 2;
+  program.level = 2;
+  const auto seq = transport::solve_sequential(program);
+
+  fault::FaultPlanConfig fault_config;
+  fault_config.seed = 9;
+  fault_config.net_drop = 1.0;
+  const fault::FaultPlan plan(fault_config);
+
+  net::RemoteEndpointConfig config;
+  config.round_trip_deadline = std::chrono::milliseconds(150);
+  config.faults = &plan;
+  net::RemoteEndpoint endpoint(net::TcpListener("127.0.0.1", 0), config);
+  SubsolveWorkers workers(endpoint.port(), 2);
+  ASSERT_TRUE(endpoint.wait_for_workers(2, std::chrono::seconds(10)));
+
+  mw::ConcurrentOptions options;
+  options.lpt_schedule = true;
+  options.remote = &endpoint;
+  options.retry = fault::RetryPolicy{};
+  options.retry->max_attempts = 1;
+  options.retry->respawn_budget = 0;
+  const auto remote = mw::solve_concurrent(program, options);
+
+  EXPECT_TRUE(remote.protocol.faults.degraded);
+  EXPECT_EQ(remote.protocol.faults.abandoned, grid::component_count(program.level));
+  EXPECT_EQ(remote.solve.combined.max_diff(seq.combined), 0.0);
+  endpoint.shutdown();
 }
 
 }  // namespace
