@@ -1,0 +1,188 @@
+// The solve service as a process: a JobServer accepting solve jobs over the
+// framed TCP codec, multiplexing one shared worker fleet across tenants.
+//
+// Usage:
+//   mg_solve_server [--listen=HOST:PORT] [--lanes=N] [--workers=N]
+//                   [--max-running=N] [--max-queued=N] [--idle-timeout-ms=N]
+//                   [--run-seconds=N] [--report=PATH]
+//
+// --lanes=N       fleet width: lane threads executing job tasks (default 4).
+// --workers=N     fork N TCP subsolve worker processes and route every task
+//                 over the wire to them (default 0 = compute in the lanes).
+// --run-seconds=N exit after N seconds (soak harnesses); default: run until
+//                 stdin closes or SIGINT/SIGTERM.
+// --report=PATH   write a fleet-wide run report (svc.* metrics) on exit.
+//
+// The line "mg_solve_server listening on PORT" goes to stdout (flushed)
+// first, so scripts can scrape the ephemeral port.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unistd.h>
+
+#include "core/remote_worker.hpp"
+#include "net/remote.hpp"
+#include "obs/report.hpp"
+#include "solver_cli.hpp"
+#include "svc/job_server.hpp"
+
+namespace {
+
+std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+bool flag_value(const char* arg, const char* name, const char*& value) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0) return false;
+  value = arg + n;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mg;
+
+  std::string listen_host = "127.0.0.1";
+  std::uint16_t listen_port = 0;
+  std::size_t lanes = 4;
+  std::size_t workers = 0;
+  std::size_t max_running = 4;
+  std::size_t max_queued = 16;
+  long idle_timeout_ms = 0;
+  long run_seconds = 0;
+  std::string report_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (flag_value(argv[i], "--listen=", v)) {
+      if (!examples::parse_host_port(v, listen_host, listen_port)) {
+        std::fprintf(stderr, "bad --listen spec '%s' (want HOST:PORT)\n", v);
+        return 2;
+      }
+    } else if (flag_value(argv[i], "--lanes=", v)) {
+      lanes = static_cast<std::size_t>(std::atol(v));
+    } else if (flag_value(argv[i], "--workers=", v)) {
+      workers = static_cast<std::size_t>(std::atol(v));
+    } else if (flag_value(argv[i], "--max-running=", v)) {
+      max_running = static_cast<std::size_t>(std::atol(v));
+    } else if (flag_value(argv[i], "--max-queued=", v)) {
+      max_queued = static_cast<std::size_t>(std::atol(v));
+    } else if (flag_value(argv[i], "--idle-timeout-ms=", v)) {
+      idle_timeout_ms = std::atol(v);
+    } else if (flag_value(argv[i], "--run-seconds=", v)) {
+      run_seconds = std::atol(v);
+    } else if (flag_value(argv[i], "--report=", v)) {
+      report_path = v;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (lanes == 0) {
+    std::fprintf(stderr, "--lanes must be positive\n");
+    return 2;
+  }
+
+  // TCP fleet: bind the worker listener and fork while still single-threaded
+  // (same discipline as the batch solver's tcp backend), then bring up the
+  // endpoint and the server, both of which spawn threads.
+  net::TcpListener worker_listener;
+  std::vector<int> worker_pids;
+  if (workers > 0) {
+    worker_listener = net::TcpListener("127.0.0.1", 0);
+    std::fflush(stdout);
+    const std::string host = worker_listener.host();
+    const std::uint16_t port = worker_listener.port();
+    worker_pids = net::fork_worker_processes(workers, [&worker_listener, host, port] {
+      worker_listener.close();
+      return mw::run_subsolve_worker(host, port);
+    });
+  }
+
+  std::unique_ptr<net::RemoteEndpoint> endpoint;
+  svc::JobServerConfig config;
+  config.host = listen_host;
+  config.port = listen_port;
+  config.engine.lanes = lanes;
+  config.engine.admission.max_running = max_running;
+  config.engine.admission.max_queued = max_queued;
+  config.idle_timeout = std::chrono::milliseconds(idle_timeout_ms);
+  if (workers > 0) {
+    endpoint = std::make_unique<net::RemoteEndpoint>(std::move(worker_listener));
+    if (!endpoint->wait_for_workers(workers, std::chrono::milliseconds(15'000))) {
+      std::fprintf(stderr, "timed out waiting for %zu tcp worker(s)\n", workers);
+      return 3;
+    }
+    config.engine.remote = endpoint.get();
+  }
+
+  svc::JobServer server(config);
+  std::printf("mg_solve_server listening on %u\n", static_cast<unsigned>(server.port()));
+  std::printf("fleet: %zu lanes%s; admission: %zu running / %zu queued; idle timeout %ld ms\n",
+              lanes, workers > 0 ? (" over " + std::to_string(workers) + " tcp workers").c_str() : "",
+              max_running, max_queued, idle_timeout_ms);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  const auto started = std::chrono::steady_clock::now();
+  while (!g_stop) {
+    if (run_seconds > 0 &&
+        std::chrono::steady_clock::now() - started >= std::chrono::seconds(run_seconds)) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  server.shutdown();
+  if (endpoint) {
+    endpoint->shutdown();
+    const int worker_rc = net::wait_worker_processes(worker_pids);
+    if (worker_rc != 0) std::printf("warning: tcp worker exit status %d\n", worker_rc);
+  }
+
+  const svc::EngineCounters ec = server.engine().counters();
+  const svc::JobServerCounters sc = server.counters();
+  std::printf("jobs: %llu submitted, %llu accepted, %llu rejected; "
+              "%llu done / %llu failed / %llu cancelled\n",
+              static_cast<unsigned long long>(ec.submitted),
+              static_cast<unsigned long long>(ec.accepted),
+              static_cast<unsigned long long>(ec.rejected),
+              static_cast<unsigned long long>(ec.completed),
+              static_cast<unsigned long long>(ec.failed),
+              static_cast<unsigned long long>(ec.cancelled));
+  std::printf("sessions: %llu opened, %llu idle-closed, %llu protocol errors, %llu pings\n",
+              static_cast<unsigned long long>(sc.sessions_opened),
+              static_cast<unsigned long long>(sc.idle_closed),
+              static_cast<unsigned long long>(sc.protocol_errors),
+              static_cast<unsigned long long>(sc.pings));
+
+  if (!report_path.empty()) {
+    obs::RunReport report("mg_solve_server");
+    report.config().begin_object();
+    report.config().kv("lanes", static_cast<std::uint64_t>(lanes));
+    report.config().kv("tcp_workers", static_cast<std::uint64_t>(workers));
+    report.config().kv("max_running", static_cast<std::uint64_t>(max_running));
+    report.config().kv("max_queued", static_cast<std::uint64_t>(max_queued));
+    report.config().end_object();
+    report.derived().begin_object();
+    report.derived().kv("jobs_submitted", ec.submitted).kv("jobs_accepted", ec.accepted);
+    report.derived().kv("jobs_rejected", ec.rejected).kv("jobs_completed", ec.completed);
+    report.derived().kv("jobs_failed", ec.failed).kv("jobs_cancelled", ec.cancelled);
+    report.derived().kv("tasks_executed", ec.tasks_executed);
+    report.derived().kv("task_retries", ec.task_retries);
+    report.derived().kv("faults_injected", ec.faults_injected);
+    report.derived().kv("sessions_opened", sc.sessions_opened);
+    report.derived().kv("idle_closed", sc.idle_closed);
+    report.derived().kv("protocol_errors", sc.protocol_errors);
+    report.derived().end_object();
+    if (!report.write(report_path)) return 1;
+    std::printf("report written to %s\n", report_path.c_str());
+  }
+  return 0;
+}

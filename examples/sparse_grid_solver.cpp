@@ -42,6 +42,7 @@
 #include "fault/fault_plan.hpp"
 #include "net/remote.hpp"
 #include "obs/report.hpp"
+#include "solver_cli.hpp"
 #include "transport/seq_solver.hpp"
 
 namespace {
@@ -65,78 +66,36 @@ void append_solve_json(mg::obs::JsonWriter& w, const mg::transport::SolveResult&
   w.end_object();
 }
 
-/// Splits "HOST:PORT" (host may be empty for the loopback default).
-bool parse_host_port(const std::string& spec, std::string& host, std::uint16_t& port) {
-  const std::size_t colon = spec.rfind(':');
-  if (colon == std::string::npos) return false;
-  if (colon > 0) host = spec.substr(0, colon);
-  const long p = std::atol(spec.c_str() + colon + 1);
-  if (p <= 0 || p > 65535) return false;
-  port = static_cast<std::uint16_t>(p);
-  return true;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace mg;
 
-  transport::ProgramConfig config;
-  std::string report_path;
-  std::string fault_spec;
-  std::string net_fault_spec;
-  std::string backend = "threads";
-  std::string listen_host = "127.0.0.1";
-  std::uint16_t listen_port = 0;  // ephemeral by default
-  std::string connect_spec;
-  std::size_t tcp_workers = 4;
-  int positional = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--report=", 9) == 0) {
-      report_path = argv[i] + 9;
-    } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
-      fault_spec = argv[i] + 9;
-    } else if (std::strncmp(argv[i], "--net-faults=", 13) == 0) {
-      net_fault_spec = argv[i] + 13;
-    } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
-      backend = argv[i] + 10;
-    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
-      tcp_workers = static_cast<std::size_t>(std::atol(argv[i] + 10));
-    } else if (std::strncmp(argv[i], "--listen=", 9) == 0) {
-      if (!parse_host_port(argv[i] + 9, listen_host, listen_port)) {
-        std::fprintf(stderr, "bad --listen spec '%s' (want HOST:PORT)\n", argv[i] + 9);
-        return 2;
-      }
-    } else if (std::strncmp(argv[i], "--connect=", 10) == 0) {
-      connect_spec = argv[i] + 10;
-    } else if (positional == 0) {
-      config.root = std::atoi(argv[i]);  // root level
-      ++positional;
-    } else if (positional == 1) {
-      config.level = std::atoi(argv[i]);  // additional refinement
-      ++positional;
-    } else if (positional == 2) {
-      config.le_tol = std::atof(argv[i]);  // integrator tolerance
-      ++positional;
-    }
-  }
-
-  // Worker mode: join a running master and serve subsolves until it is gone.
-  if (!connect_spec.empty()) {
-    std::string host = "127.0.0.1";
-    std::uint16_t port = 0;
-    if (!parse_host_port(connect_spec, host, port)) {
-      std::fprintf(stderr, "bad --connect spec '%s' (want HOST:PORT)\n", connect_spec.c_str());
-      return 2;
-    }
-    return mw::run_subsolve_worker(host, port);
-  }
-
-  const bool tcp = backend == "tcp";
-  if (!tcp && backend != "threads") {
-    std::fprintf(stderr, "unknown --backend '%s' (want threads or tcp)\n", backend.c_str());
+  const examples::SolverCli cli = examples::parse_solver_cli(argc, argv);
+  if (!cli.ok) {
+    std::fprintf(stderr, "%s\n", cli.error.c_str());
+    std::fprintf(stderr,
+                 "usage: sparse_grid_solver [root] [level] [le_tol] [--report=PATH]\n"
+                 "         [--faults=SPEC] [--backend=threads|tcp] [--workers=N]\n"
+                 "         [--listen=HOST:PORT] [--net-faults=SPEC]\n"
+                 "       sparse_grid_solver --connect=HOST:PORT   (worker mode)\n");
     return 2;
   }
+
+  transport::ProgramConfig config;
+  config.root = cli.root;
+  config.level = cli.level;
+  config.le_tol = cli.le_tol;
+  const std::string& report_path = cli.report_path;
+  const std::string& fault_spec = cli.fault_spec;
+  const std::string& net_fault_spec = cli.net_fault_spec;
+
+  // Worker mode: join a running master and serve subsolves until it is gone.
+  if (cli.worker_mode) {
+    return mw::run_subsolve_worker(cli.connect_host, cli.connect_port);
+  }
+
+  const bool tcp = cli.backend == "tcp";
 
   // TCP master: bind first, fork the workers while this process is still
   // single-threaded, and only then (below) start the endpoint's event loop —
@@ -144,11 +103,11 @@ int main(int argc, char** argv) {
   net::TcpListener listener;
   std::vector<int> worker_pids;
   if (tcp) {
-    listener = net::TcpListener(listen_host, listen_port);
+    listener = net::TcpListener(cli.listen_host, cli.listen_port);
     std::fflush(stdout);  // forked children must not replay buffered output
     const std::string host = listener.host();
     const std::uint16_t port = listener.port();
-    worker_pids = net::fork_worker_processes(tcp_workers, [&listener, host, port] {
+    worker_pids = net::fork_worker_processes(cli.tcp_workers, [&listener, host, port] {
       // Children inherit the listening fd; keeping it open would hold the
       // port alive after the master closes it and strand every reconnect.
       listener.close();

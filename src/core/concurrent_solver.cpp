@@ -35,6 +35,12 @@ std::vector<std::size_t> lpt_order(const std::vector<grid::CombinationTerm>& ter
   return order;
 }
 
+ResultItem execute_work_item(const WorkItem& item) {
+  const grid::Grid2D g(item.root, item.lx, item.ly);
+  transport::SubsolveResult r = transport::subsolve(g, item.config);
+  return ResultItem{item.index, std::move(r.solution.data()), r.stats, r.elapsed_seconds};
+}
+
 namespace {
 
 /// Shared state for the DataPath::SharedGlobal ablation: workers store their
@@ -204,9 +210,7 @@ ConcurrentResult solve_concurrent(const transport::ProgramConfig& program,
     work = [marshal](const iwim::Unit& unit) {
       WorkItem item = unit.as<WorkItem>();
       if (marshal) item = decode_work_item(encode_work_item(item));  // wire round-trip
-      const grid::Grid2D g(item.root, item.lx, item.ly);
-      transport::SubsolveResult r = transport::subsolve(g, item.config);
-      ResultItem result{item.index, std::move(r.solution.data()), r.stats, r.elapsed_seconds};
+      ResultItem result = execute_work_item(item);
       if (marshal) result = decode_result_item(encode_result_item(result));
       return iwim::Unit::of(std::move(result));
     };

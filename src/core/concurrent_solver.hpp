@@ -40,6 +40,13 @@ struct ResultItem {
   double elapsed_seconds;
 };
 
+/// Executes one work unit — the §3 subsolve on the item's grid.  The single
+/// compute kernel behind every substrate: the threaded pool workers, the TCP
+/// worker processes (run_subsolve_worker), and the solve service's fleet
+/// lanes all call this, which is what makes their outputs interchangeable
+/// bit for bit.
+ResultItem execute_work_item(const WorkItem& item);
+
 /// How computed data travels (§4.1): in the paper's protocol "the master
 /// process passes all data to and from the workers"; the alternative it
 /// mentions (but never tried) lets workers access the global data structure

@@ -64,11 +64,7 @@ WorkerFactory make_remote_worker_factory(net::RemoteEndpoint& endpoint, bool fau
 
 int run_subsolve_worker(const std::string& host, std::uint16_t port) {
   return net::run_worker_loop(host, port, [](const std::vector<std::uint8_t>& work) {
-    const WorkItem item = decode_work_item(work);
-    const grid::Grid2D g(item.root, item.lx, item.ly);
-    transport::SubsolveResult r = transport::subsolve(g, item.config);
-    return encode_result_item(
-        ResultItem{item.index, std::move(r.solution.data()), r.stats, r.elapsed_seconds});
+    return encode_result_item(execute_work_item(decode_work_item(work)));
   });
 }
 

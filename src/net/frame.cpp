@@ -46,6 +46,13 @@ const char* to_string(FrameType t) {
     case FrameType::Result: return "result";
     case FrameType::Error: return "error";
     case FrameType::Bye: return "bye";
+    case FrameType::SubmitJob: return "submit-job";
+    case FrameType::JobAccepted: return "job-accepted";
+    case FrameType::JobStatus: return "job-status";
+    case FrameType::JobResult: return "job-result";
+    case FrameType::CancelJob: return "cancel-job";
+    case FrameType::Ping: return "ping";
+    case FrameType::Pong: return "pong";
   }
   return "?";
 }
@@ -93,7 +100,7 @@ std::optional<Frame> FrameDecoder::next() {
   }
   const std::uint16_t raw_type = get_u16(h + 6);
   if (raw_type < static_cast<std::uint16_t>(FrameType::Hello) ||
-      raw_type > static_cast<std::uint16_t>(FrameType::Bye)) {
+      raw_type > static_cast<std::uint16_t>(FrameType::Pong)) {
     throw FrameError("frame: unknown type " + std::to_string(raw_type));
   }
   const std::uint32_t payload_size = get_u32(h + 16);

@@ -33,6 +33,17 @@ enum class FrameType : std::uint16_t {
   Result = 3,  ///< worker -> master: marshalled result, same seq as the Work
   Error = 4,   ///< worker -> master: compute failed; payload = message text
   Bye = 5,     ///< orderly shutdown request
+
+  // ---- solve-service job API (client <-> JobServer; see src/svc/) ----
+  SubmitJob = 6,    ///< client -> server: marshalled JobSpec
+  JobAccepted = 7,  ///< server -> client: JobTicket (accepted or Rejected), same seq
+  JobStatus = 8,    ///< client -> server: u64 job id; server -> client: JobStatusInfo
+  JobResult = 9,    ///< client -> server: u64 job id; server -> client: JobResultData
+  CancelJob = 10,   ///< client -> server: u64 job id; server replies JobStatus
+
+  // ---- keepalive (either direction) ----
+  Ping = 11,  ///< payload echoed back verbatim in the Pong, same seq
+  Pong = 12,  ///< reply to a Ping; also refreshes the server's idle clock
 };
 
 const char* to_string(FrameType t);

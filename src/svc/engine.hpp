@@ -1,0 +1,138 @@
+// SolveEngine — the multi-tenant execution core of the solve service.
+//
+// One engine owns one shared worker fleet (a fixed set of lane threads; each
+// lane either subsolves in-process or leases a remote TCP worker through a
+// RemoteEndpoint round trip) and multiplexes it across every admitted job
+// via the FairScheduler.  The numerics are untouched: a lane executes the
+// same WorkItem -> ResultItem kernel the batch solver uses, results are
+// keyed by term index, and the final combination runs in term order — so
+// each job's output is bit-identical to a standalone solve_sequential run
+// of the same spec, no matter how tenancy interleaved its tasks.
+//
+// Per-job isolation:
+//  * metrics: every job gets its own obs::Registry; its report JSON is
+//    assembled from that registry alone, so concurrent tenants never bleed
+//    into each other's numbers (global svc.* counters keep the fleet view).
+//  * faults: a job-scoped fault spec seeds a private FaultPlan whose
+//    ordinals are the job's own attempt counter — injections are a pure
+//    function of the job, invisible to its neighbours.
+//  * cancellation: drops the job's pending tasks immediately, aborts its
+//    in-flight remote round trips via the lease's cancel hook, and never
+//    touches another job's work.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "svc/job.hpp"
+#include "svc/scheduler.hpp"
+
+namespace mg::net {
+class RemoteEndpoint;
+}
+
+namespace mg::svc {
+
+struct EngineConfig {
+  AdmissionConfig admission;
+  /// Lane threads sharing the fleet.  With `remote` set this is the number
+  /// of concurrently leased worker channels, not local compute threads.
+  std::size_t lanes = 4;
+  /// TCP fleet: lanes round-trip marshalled work units over this endpoint
+  /// (not owned; must outlive the engine).  Null = subsolve in the lane.
+  net::RemoteEndpoint* remote = nullptr;
+  /// Re-dispatch policy for failed attempts (remote transport failures and
+  /// job-scoped injected faults).  Once attempts are exhausted the lane
+  /// computes the term locally — graceful degradation, still bit-identical.
+  fault::RetryPolicy retry;
+  /// Spec validation caps (a hostile SubmitJob must not allocate the moon).
+  int max_root = 6;
+  int max_level = 12;
+};
+
+/// Fleet-wide ledger (sum over jobs; per-job views live in the job reports).
+struct EngineCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t task_retries = 0;
+  std::uint64_t faults_injected = 0;   ///< job-scoped crash/hang/corrupt
+  std::uint64_t remote_fallbacks = 0;  ///< terms computed locally after lease failures
+};
+
+class SolveEngine {
+ public:
+  explicit SolveEngine(EngineConfig config = {});
+  ~SolveEngine();
+
+  SolveEngine(const SolveEngine&) = delete;
+  SolveEngine& operator=(const SolveEngine&) = delete;
+
+  /// Validates + admits the job.  Rejections (bad spec, admission queue
+  /// full) come back as a non-accepted ticket with the reason; nothing
+  /// blocks.  Thread-safe.
+  JobTicket submit(const JobSpec& spec);
+
+  JobStatusInfo status(std::uint64_t id) const;
+  JobResultData result(std::uint64_t id) const;
+
+  /// Requests cancellation: pending tasks are dropped now, in-flight ones
+  /// drain (remote trips abort at the lease).  Returns the post-request
+  /// status; terminal jobs are left untouched.
+  JobStatusInfo cancel(std::uint64_t id);
+
+  /// Blocks until the job reaches a terminal state; false on timeout or
+  /// unknown id.
+  bool wait_terminal(std::uint64_t id, std::chrono::milliseconds timeout);
+
+  /// Jobs that have reached any terminal state since construction.
+  std::size_t terminal_jobs() const;
+
+  EngineCounters counters() const;
+  SchedulerCounters scheduler_counters() const;
+
+  /// Stops the scheduler and joins the lanes; queued/running jobs finish as
+  /// Failed("engine shut down").  Idempotent; also run by the destructor.
+  void shutdown();
+
+ private:
+  struct Job;
+  struct TermResult;
+
+  void lane_main(std::size_t lane_index);
+  void execute_task(Job& job, const TaskRef& task);
+  void deliver(Job& job, std::size_t term_index, TermResult&& delivery);
+  void account_skipped(Job& job, std::size_t n);
+  void finalize(Job& job);
+
+  EngineConfig config_;
+  FairScheduler scheduler_;
+
+  mutable std::mutex jobs_mutex_;
+  std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::uint64_t next_job_id_ = 1;
+  std::uint64_t terminal_jobs_ = 0;
+
+  mutable std::mutex counters_mutex_;
+  EngineCounters counters_;
+
+  mutable std::mutex wait_mutex_;
+  std::condition_variable terminal_cv_;
+
+  std::vector<std::thread> lanes_;
+  bool down_ = false;  ///< guarded by jobs_mutex_
+};
+
+}  // namespace mg::svc

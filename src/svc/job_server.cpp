@@ -1,0 +1,253 @@
+#include "svc/job_server.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "support/log.hpp"
+#include "svc/job.hpp"
+
+namespace mg::svc {
+
+namespace {
+
+struct ServerMetrics {
+  obs::Counter& sessions_opened;
+  obs::Counter& sessions_closed;
+  obs::Counter& idle_closed;
+  obs::Counter& protocol_errors;
+  obs::Counter& frames_received;
+  obs::Counter& frames_sent;
+  obs::Counter& pings;
+};
+
+ServerMetrics& server_metrics() {
+  static ServerMetrics m{
+      obs::registry().counter("svc.server.sessions_opened"),
+      obs::registry().counter("svc.server.sessions_closed"),
+      obs::registry().counter("svc.server.idle_closed"),
+      obs::registry().counter("svc.server.protocol_errors"),
+      obs::registry().counter("svc.server.frames_received"),
+      obs::registry().counter("svc.server.frames_sent"),
+      obs::registry().counter("svc.server.pings"),
+  };
+  return m;
+}
+
+}  // namespace
+
+struct JobServer::Session {
+  std::uint64_t id = 0;
+  net::Socket socket;
+  net::FrameDecoder decoder;
+  std::thread thread;
+
+  Session(std::uint64_t id_, net::Socket socket_, std::size_t max_payload)
+      : id(id_), socket(std::move(socket_)), decoder(max_payload) {}
+};
+
+JobServer::JobServer(JobServerConfig config)
+    : config_(config),
+      engine_(config.engine),
+      listener_(config.host, config.port),
+      port_(listener_.port()) {
+  listener_.set_nonblocking(true);
+  accept_thread_ = std::thread([this] { accept_main(); });
+}
+
+JobServer::~JobServer() { shutdown(); }
+
+void JobServer::accept_main() {
+  while (!down_.load(std::memory_order_acquire)) {
+    pollfd pfd{listener_.fd(), POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 100);
+    if (rc <= 0) continue;
+    net::Socket s = listener_.accept();
+    if (!s.valid()) continue;
+    s.set_nodelay(true);
+    auto session = [&] {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      auto sess = std::make_shared<Session>(next_session_id_++, std::move(s),
+                                            config_.max_payload);
+      sessions_.emplace(sess->id, sess);
+      return sess;
+    }();
+    server_metrics().sessions_opened.add();
+    {
+      std::lock_guard<std::mutex> lock(counters_mutex_);
+      ++counters_.sessions_opened;
+    }
+    session->thread = std::thread([this, session] { session_main(session); });
+  }
+}
+
+void JobServer::session_main(std::shared_ptr<Session> session) {
+  const bool idle_enabled = config_.idle_timeout.count() > 0;
+  auto last_frame_at = std::chrono::steady_clock::now();
+  bool idle_kill = false;
+
+  try {
+    std::vector<std::uint8_t> buf(64 * 1024);
+    bool open = true;
+    while (open && !down_.load(std::memory_order_acquire)) {
+      // Wait for bytes, but never longer than the remaining idle budget —
+      // the poll timeout *is* the idle-timeout mechanism.
+      int wait_ms = 200;
+      if (idle_enabled) {
+        const auto idle_for = std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - last_frame_at);
+        const auto left = config_.idle_timeout - idle_for;
+        if (left.count() <= 0) {
+          idle_kill = true;
+          break;
+        }
+        wait_ms = static_cast<int>(std::min<std::int64_t>(left.count(), 200));
+      }
+      pollfd pfd{session->socket.fd(), POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, wait_ms);
+      if (rc < 0) break;
+      if (rc == 0) continue;  // timeout tick; loop re-checks idle budget
+
+      const std::ptrdiff_t n = session->socket.recv_some(buf.data(), buf.size());
+      if (n == 0) break;   // orderly EOF
+      if (n < 0) continue; // spurious wakeup
+      session->decoder.feed(buf.data(), static_cast<std::size_t>(n));
+      while (auto frame = session->decoder.next()) {
+        last_frame_at = std::chrono::steady_clock::now();
+        server_metrics().frames_received.add();
+        {
+          std::lock_guard<std::mutex> lock(counters_mutex_);
+          ++counters_.frames_received;
+        }
+        if (!serve_frame(*session, *frame)) {
+          open = false;
+          break;
+        }
+      }
+    }
+  } catch (const net::FrameError& e) {
+    support::log_warn("svc: session ", session->id, " framing error: ", e.what());
+    server_metrics().protocol_errors.add();
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.protocol_errors;
+  } catch (const std::exception& e) {
+    support::log_warn("svc: session ", session->id, " error: ", e.what());
+    server_metrics().protocol_errors.add();
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.protocol_errors;
+  }
+
+  if (idle_kill) {
+    server_metrics().idle_closed.add();
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.idle_closed;
+  }
+  server_metrics().sessions_closed.add();
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.sessions_closed;
+  }
+  // Cleanup ownership handshake: if the server is not shutting down, this
+  // thread removes its own record (detaching itself) and closes the socket.
+  // Under shutdown it touches neither — shutdown() owns the close and the
+  // join, so the fd is never closed from two threads.
+  bool self_cleanup = false;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    if (!down_.load(std::memory_order_acquire)) {
+      const auto it = sessions_.find(session->id);
+      if (it != sessions_.end()) {
+        it->second->thread.detach();
+        sessions_.erase(it);
+        self_cleanup = true;
+      }
+    }
+  }
+  if (self_cleanup) session->socket.close();
+}
+
+bool JobServer::serve_frame(Session& session, const net::Frame& frame) {
+  using net::FrameType;
+  const std::uint64_t seq = frame.header.seq;
+  switch (frame.header.type) {
+    case FrameType::SubmitJob: {
+      const JobSpec spec = decode_job_spec(frame.payload);  // throws -> fatal
+      const JobTicket ticket = engine_.submit(spec);
+      return send_frame(session, FrameType::JobAccepted, seq, encode_job_ticket(ticket));
+    }
+    case FrameType::JobStatus: {
+      const std::uint64_t id = decode_job_ref(frame.payload);
+      return send_frame(session, FrameType::JobStatus, seq,
+                        encode_job_status(engine_.status(id)));
+    }
+    case FrameType::JobResult: {
+      const std::uint64_t id = decode_job_ref(frame.payload);
+      return send_frame(session, FrameType::JobResult, seq,
+                        encode_job_result(engine_.result(id)));
+    }
+    case FrameType::CancelJob: {
+      const std::uint64_t id = decode_job_ref(frame.payload);
+      return send_frame(session, FrameType::JobStatus, seq,
+                        encode_job_status(engine_.cancel(id)));
+    }
+    case FrameType::Ping: {
+      server_metrics().pings.add();
+      {
+        std::lock_guard<std::mutex> lock(counters_mutex_);
+        ++counters_.pings;
+      }
+      return send_frame(session, FrameType::Pong, seq, frame.payload);
+    }
+    case FrameType::Bye:
+      send_frame(session, FrameType::Bye, seq, {});
+      return false;
+    default:
+      // A frame type this endpoint does not serve (worker-transport types,
+      // or a stray Pong) is a protocol violation: close.
+      server_metrics().protocol_errors.add();
+      {
+        std::lock_guard<std::mutex> lock(counters_mutex_);
+        ++counters_.protocol_errors;
+      }
+      return false;
+  }
+}
+
+bool JobServer::send_frame(Session& session, net::FrameType type, std::uint64_t seq,
+                           const std::vector<std::uint8_t>& payload) {
+  const std::vector<std::uint8_t> bytes = net::encode_frame(type, seq, payload);
+  if (!net::send_all(session.socket, bytes.data(), bytes.size())) return false;
+  server_metrics().frames_sent.add();
+  std::lock_guard<std::mutex> lock(counters_mutex_);
+  ++counters_.frames_sent;
+  return true;
+}
+
+JobServerCounters JobServer::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mutex_);
+  return counters_;
+}
+
+void JobServer::shutdown() {
+  bool was_down = down_.exchange(true, std::memory_order_acq_rel);
+  if (!was_down) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    listener_.close();
+  }
+  // Closing the sockets kicks session threads out of poll/recv; then join.
+  std::map<std::uint64_t, std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions.swap(sessions_);
+  }
+  for (auto& [id, session] : sessions) session->socket.close();
+  for (auto& [id, session] : sessions) {
+    if (session->thread.joinable()) session->thread.join();
+  }
+  engine_.shutdown();
+}
+
+}  // namespace mg::svc

@@ -1,0 +1,100 @@
+// JobServer — the network face of the solve service.
+//
+// Accepts client connections on the same CRC-framed codec the worker
+// transport uses (net/frame.hpp) and serves the job API frames: SubmitJob /
+// JobStatus / JobResult / CancelJob, plus Ping keepalives.  One session
+// thread per connection — clients are few and their requests are small, so
+// blocking I/O per session is the honest state machine (the compute heavy
+// lifting happens on the engine's lanes, never on a session thread).
+//
+// Protocol rules a session enforces:
+//  * every request frame gets exactly one reply frame with the same seq;
+//  * a FrameError (bad magic/CRC) or an undecodable payload is connection-
+//    fatal — framing cannot resynchronise, so the session closes;
+//  * a connection idle longer than `idle_timeout` is closed by the server
+//    (any frame, Ping included, refreshes the clock);
+//  * Bye closes the session after an acknowledging Bye reply.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "svc/engine.hpp"
+
+namespace mg::svc {
+
+struct JobServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
+  EngineConfig engine;
+  /// Close connections with no inbound frame for this long; 0 disables.
+  std::chrono::milliseconds idle_timeout{0};
+  std::size_t max_payload = net::FrameDecoder::kDefaultMaxPayload;
+};
+
+struct JobServerCounters {
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_closed = 0;
+  std::uint64_t idle_closed = 0;      ///< closed by the idle timeout
+  std::uint64_t protocol_errors = 0;  ///< connection-fatal frames/payloads
+  std::uint64_t frames_received = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t pings = 0;
+};
+
+class JobServer {
+ public:
+  /// Binds and starts serving immediately.  Throws net::SocketError when the
+  /// address cannot be bound.
+  explicit JobServer(JobServerConfig config = {});
+  ~JobServer();
+
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// The multi-tenant engine behind the wire API (for in-process tests and
+  /// for embedding the service without a socket in front).
+  SolveEngine& engine() { return engine_; }
+
+  JobServerCounters counters() const;
+
+  /// Stops accepting, closes every session, shuts the engine down.
+  /// Idempotent; also run by the destructor.
+  void shutdown();
+
+ private:
+  struct Session;
+
+  void accept_main();
+  void session_main(std::shared_ptr<Session> session);
+  /// Serves one request frame; false = close the session (Bye or error).
+  bool serve_frame(Session& session, const net::Frame& frame);
+  bool send_frame(Session& session, net::FrameType type, std::uint64_t seq,
+                  const std::vector<std::uint8_t>& payload);
+
+  JobServerConfig config_;
+  SolveEngine engine_;
+  net::TcpListener listener_;
+  std::uint16_t port_ = 0;
+
+  std::atomic<bool> down_{false};
+  std::thread accept_thread_;
+
+  mutable std::mutex sessions_mutex_;
+  std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+  std::uint64_t next_session_id_ = 1;
+
+  mutable std::mutex counters_mutex_;
+  JobServerCounters counters_;
+};
+
+}  // namespace mg::svc

@@ -1,0 +1,166 @@
+// Tier-2 soak of the solve service: one JobServer over a fleet of 4 forked
+// TCP worker processes, 8 concurrent client jobs (each on its own
+// connection) under seeded frame faults on the work path, one job cancelled
+// mid-flight — every completed job must be bit-identical to a standalone
+// sequential run of its spec, and the whole stack must return every fd.
+//
+// Fork discipline: the worker listener is bound and the workers forked
+// before the RemoteEndpoint or the JobServer exists (both spawn threads).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/remote_worker.hpp"
+#include "fault/fault_plan.hpp"
+#include "net/remote.hpp"
+#include "net/socket.hpp"
+#include "svc/client.hpp"
+#include "svc/job_server.hpp"
+#include "transport/seq_solver.hpp"
+
+namespace {
+
+using namespace mg;
+using namespace std::chrono_literals;
+
+std::size_t open_fd_count() {
+  std::size_t n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator("/proc/self/fd")) {
+    (void)entry;
+    ++n;
+  }
+  return n;
+}
+
+std::vector<double> sequential_nodes(int root, int level, double le_tol) {
+  transport::ProgramConfig config;
+  config.root = root;
+  config.level = level;
+  config.le_tol = le_tol;
+  return transport::solve_sequential(config).combined.data();
+}
+
+TEST(SvcSoak, EightTenantsOverFourForkedWorkersUnderFrameFaults) {
+  const std::size_t fds_before = open_fd_count();
+  {
+    // 1. Fork the fleet while single-threaded.
+    net::TcpListener worker_listener("127.0.0.1", 0);
+    const std::uint16_t worker_port = worker_listener.port();
+    const auto pids = net::fork_worker_processes(4, [&worker_listener, worker_port] {
+      worker_listener.close();
+      return mw::run_subsolve_worker("127.0.0.1", worker_port);
+    });
+
+    // 2. Seeded frame faults on the server->worker work path.
+    fault::FaultPlanConfig fault_config;
+    fault_config.seed = 20044;
+    fault_config.net_drop = 0.05;
+    fault_config.net_truncate = 0.05;
+    fault_config.net_slow = 0.10;
+    fault_config.net_delay = 5ms;
+    const fault::FaultPlan plan(fault_config);
+
+    net::RemoteEndpointConfig ep_config;
+    ep_config.round_trip_deadline = 1000ms;
+    ep_config.faults = &plan;
+    net::RemoteEndpoint endpoint(std::move(worker_listener), ep_config);
+    ASSERT_TRUE(endpoint.wait_for_workers(4, 15s));
+
+    // 3. The service: 4 lanes leasing the faulty fleet, retries absorbing
+    //    the injected failures; admission narrower than the tenant count so
+    //    the wait queue is exercised too.
+    svc::JobServerConfig server_config;
+    server_config.engine.lanes = 4;
+    server_config.engine.remote = &endpoint;
+    server_config.engine.admission.max_running = 4;
+    server_config.engine.admission.max_queued = 8;
+    server_config.engine.retry.max_attempts = 12;
+    server_config.engine.retry.backoff_initial = 2ms;
+    svc::JobServer server(server_config);
+    const std::uint16_t port = server.port();
+
+    // 4. Eight tenants on eight connections; tenant 7 cancels mid-flight.
+    struct Outcome {
+      svc::JobState state = svc::JobState::Queued;
+      bool identical = false;
+      std::string error;
+    };
+    std::vector<Outcome> outcomes(8);
+    const int levels[3] = {2, 3, 4};
+    const double tols[2] = {1e-3, 5e-4};
+
+    std::vector<std::thread> tenants;
+    for (int j = 0; j < 8; ++j) {
+      tenants.emplace_back([&, j] {
+        Outcome& out = outcomes[static_cast<std::size_t>(j)];
+        try {
+          svc::JobClient client("127.0.0.1", port);
+          svc::JobSpec spec;
+          if (j == 7) {
+            spec.root = 3;
+            spec.level = 6;
+            spec.le_tol = 1e-4;
+          } else {
+            spec.root = 2;
+            spec.level = levels[j % 3];
+            spec.le_tol = tols[j % 2];
+          }
+          spec.tag = "tenant-" + std::to_string(j);
+          const svc::JobTicket ticket = client.submit(spec);
+          if (!ticket.accepted) {
+            out.error = "rejected: " + ticket.reason;
+            return;
+          }
+          if (j == 7) {
+            std::this_thread::sleep_for(30ms);
+            client.cancel(ticket.job_id);
+          }
+          const svc::JobStatusInfo status =
+              client.wait_terminal(ticket.job_id, 180'000ms);
+          out.state = status.state;
+          out.error = status.error;
+          if (status.state == svc::JobState::Done) {
+            const svc::JobResultData result = client.result(ticket.job_id);
+            out.identical =
+                result.combined_nodes == sequential_nodes(spec.root, spec.level, spec.le_tol);
+          }
+        } catch (const svc::ClientError& e) {
+          out.error = e.what();
+        }
+      });
+    }
+    for (auto& t : tenants) t.join();
+
+    for (int j = 0; j < 7; ++j) {
+      const Outcome& out = outcomes[static_cast<std::size_t>(j)];
+      EXPECT_EQ(out.state, svc::JobState::Done) << "tenant " << j << ": " << out.error;
+      EXPECT_TRUE(out.identical) << "tenant " << j << " not bit-identical";
+    }
+    // Tenant 7 raced its cancel against a fast fleet; Cancelled is the
+    // expected outcome, Done the benign race — never Failed.
+    EXPECT_NE(outcomes[7].state, svc::JobState::Failed) << outcomes[7].error;
+    EXPECT_EQ(outcomes[7].state, svc::JobState::Cancelled);
+
+    // The seed must actually have inflicted faults, and the engine must have
+    // absorbed transport failures by retrying (or local fallback).
+    const net::RemoteCounters nc = endpoint.counters();
+    EXPECT_GT(nc.faults_dropped + nc.faults_truncated + nc.faults_delayed, 0u);
+    const svc::EngineCounters ec = server.engine().counters();
+    EXPECT_EQ(ec.completed, 7u);
+    EXPECT_EQ(ec.cancelled, 1u);
+    EXPECT_GT(ec.tasks_executed, 0u);
+
+    server.shutdown();
+    endpoint.shutdown();
+    EXPECT_EQ(net::wait_worker_processes(pids), 0);
+  }
+  // Server listener, sessions, endpoint channels, self-pipes: all returned.
+  EXPECT_EQ(open_fd_count(), fds_before);
+}
+
+}  // namespace
