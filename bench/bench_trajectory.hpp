@@ -1,0 +1,93 @@
+// Bench trajectory files: instead of overwriting the committed BENCH_*.json
+// with whatever the last machine measured, each perf tool *appends* one
+// labelled entry per run — so the committed artifact is a time series of
+// {label, timestamp, report} tuples (label = git describe of the tree that
+// produced it) and regressions are visible as a trajectory, not silently
+// replaced.
+//
+// File schema:
+//   {"schema":"bench_trajectory","schema_version":1,"entries":[
+//   {"label":"...","timestamp":"...","report":{<RunReport document>}},
+//   ...
+//   ]}
+//
+// The writer is append-only and parse-free: it relies on the fixed header /
+// trailer framing above (one entry per line, "\n]}\n" trailer).  A legacy
+// single-report file (top-level "tool" document from before trajectories)
+// is migrated in place: the old document becomes the first entry, labelled
+// "pre-trajectory".
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace mg::bench {
+
+inline std::string trajectory_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+inline std::string trajectory_entry(const std::string& label, const std::string& timestamp,
+                                    const std::string& report_json) {
+  return "{\"label\":\"" + trajectory_escape(label) + "\",\"timestamp\":\"" +
+         trajectory_escape(timestamp) + "\",\"report\":" + report_json + "}";
+}
+
+/// Appends one entry to the trajectory at `path`, creating or migrating the
+/// file as needed.  Returns false when the file cannot be (re)written.
+inline bool append_bench_entry(const std::string& path, const std::string& label,
+                               const std::string& timestamp,
+                               const std::string& report_json) {
+  static const char* kHeader = "{\"schema\":\"bench_trajectory\",\"schema_version\":1,\"entries\":[\n";
+  static const char* kTrailer = "\n]}\n";
+
+  std::string existing;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      existing = buf.str();
+    }
+  }
+  while (!existing.empty() &&
+         (existing.back() == '\n' || existing.back() == ' ' || existing.back() == '\r')) {
+    existing.pop_back();
+  }
+
+  const std::string entry = trajectory_entry(label, timestamp, report_json);
+  std::string out;
+  if (existing.empty()) {
+    out = std::string(kHeader) + entry + kTrailer;
+  } else if (existing.rfind("{\"schema\":\"bench_trajectory\"", 0) == 0 &&
+             existing.size() >= 2 && existing.compare(existing.size() - 2, 2, "]}") == 0) {
+    // Drop the "\n]}" trailer (with or without the newline) and append.
+    std::string body = existing.substr(0, existing.size() - 2);
+    while (!body.empty() && body.back() == '\n') body.pop_back();
+    out = body + ",\n" + entry + kTrailer;
+  } else {
+    // Legacy single-report file: keep the old measurement as entry zero.
+    out = std::string(kHeader) + trajectory_entry("pre-trajectory", "", existing) + ",\n" +
+          entry + kTrailer;
+  }
+
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  file << out;
+  return file.good();
+}
+
+}  // namespace mg::bench

@@ -6,17 +6,22 @@
 // the hot-path numbers in README/DESIGN are regenerable artifacts.
 //
 // Usage: perf_smoke [--out=PATH] [--max-level L] [--reps N]
+//                   [--label=S] [--timestamp=S]
 //
 // The default output path is BENCH_subsolve.json in the working directory;
 // the committed copy at the repo root is this tool's output on the dev
-// container.  Timings are wall-clock and machine-dependent; the report is
-// a smoke record, not a calibrated benchmark.
+// container.  The file is a bench *trajectory* (bench/bench_trajectory.hpp):
+// each run appends one {label, timestamp, report} entry — pass
+// --label="$(git describe --always --dirty)" and a --timestamp so the entry
+// says which tree produced it.  Timings are wall-clock and machine-
+// dependent; the report is a smoke record, not a calibrated benchmark.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench/bench_trajectory.hpp"
 #include "grid/grid2d.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -58,10 +63,14 @@ std::uint64_t bicgstab_iterations(const grid::Grid2D& g, bool warm_start) {
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_subsolve.json";
+  std::string label = "dev";
+  std::string timestamp;
   int max_level = 3;
   int reps = 200;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+    if (std::strncmp(argv[i], "--label=", 8) == 0) label = argv[i] + 8;
+    if (std::strncmp(argv[i], "--timestamp=", 12) == 0) timestamp = argv[i] + 12;
     if (std::strcmp(argv[i], "--max-level") == 0 && i + 1 < argc) max_level = std::atoi(argv[++i]);
     if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) reps = std::atoi(argv[++i]);
   }
@@ -157,10 +166,11 @@ int main(int argc, char** argv) {
   report.derived().end_array();
   report.derived().end_object();
 
-  if (!report.write(out_path)) {
+  if (!bench::append_bench_entry(out_path, label, timestamp,
+                                 report.json(obs::registry().snapshot()))) {
     std::fprintf(stderr, "perf_smoke: cannot write %s\n", out_path.c_str());
     return 1;
   }
-  std::printf("report written to %s\n", out_path.c_str());
+  std::printf("entry '%s' appended to %s\n", label.c_str(), out_path.c_str());
   return 0;
 }

@@ -8,17 +8,22 @@
 // modes serialize on the CPU and the ratio sits near 1).
 //
 // Usage: svc_bench [--out=PATH] [--jobs N] [--lanes N] [--level L] [--reps N]
+//                  [--label=S] [--timestamp=S]
 //
 // The default output path is BENCH_svc.json in the working directory; the
 // committed copy at the repo root is this tool's output on the dev
-// container.  Timings are wall-clock and machine-dependent; the report is
-// a smoke record, not a calibrated benchmark.
+// container.  The file is a bench *trajectory* (bench/bench_trajectory.hpp):
+// each run appends one {label, timestamp, report} entry — pass
+// --label="$(git describe --always --dirty)" and a --timestamp so the entry
+// says which tree produced it.  Timings are wall-clock and machine-
+// dependent; the report is a smoke record, not a calibrated benchmark.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench/bench_trajectory.hpp"
 #include "obs/report.hpp"
 #include "support/stopwatch.hpp"
 #include "svc/engine.hpp"
@@ -138,12 +143,16 @@ void write_batch(obs::RunReport& report, const char* key, const BatchTiming& tim
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_svc.json";
+  std::string label = "dev";
+  std::string timestamp;
   int jobs = 8;
   std::size_t lanes = 8;
   int level = 3;
   int reps = 5;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+    if (std::strncmp(argv[i], "--label=", 8) == 0) label = argv[i] + 8;
+    if (std::strncmp(argv[i], "--timestamp=", 12) == 0) timestamp = argv[i] + 12;
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) jobs = std::atoi(argv[++i]);
     if (std::strcmp(argv[i], "--lanes") == 0 && i + 1 < argc)
       lanes = static_cast<std::size_t>(std::atol(argv[++i]));
@@ -181,10 +190,11 @@ int main(int argc, char** argv) {
   report.derived().end_object();
   report.derived().end_object();
 
-  if (!report.write(out_path)) {
+  if (!bench::append_bench_entry(out_path, label, timestamp,
+                                 report.json(obs::registry().snapshot()))) {
     std::fprintf(stderr, "svc_bench: cannot write %s\n", out_path.c_str());
     return 1;
   }
-  std::printf("report written to %s\n", out_path.c_str());
+  std::printf("entry '%s' appended to %s\n", label.c_str(), out_path.c_str());
   return 0;
 }

@@ -3,11 +3,15 @@
 // on the simulated 32-node Athlon cluster with the Athlon-calibrated cost
 // model.  Paper values are printed alongside for comparison.
 //
-// Usage: table1 [--runs N] [--seed S] [--max-level L] [--report=PATH]
+// Usage: table1 [--runs N] [--seed S] [--max-level L] [--report=PATH] [--trace=PATH]
 //
 // --report=PATH writes a machine-readable JSON run report (see
 // src/obs/report.hpp for the schema): the st/ct/m/su rows for both
 // tolerances plus a snapshot of the metrics registry.
+//
+// --trace=PATH writes the simulator's virtual-time schedule (every level and
+// run of both tolerance sweeps) as Chrome trace_event JSON — the same flag
+// the real solver and the solve service take.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +22,7 @@
 #include "cluster/cost_model.hpp"
 #include "cluster/sim_report.hpp"
 #include "obs/report.hpp"
+#include "obs/span.hpp"
 
 namespace {
 
@@ -48,18 +53,25 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 2004;
   int max_level = 15;
   std::string report_path;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) runs = std::atoi(argv[++i]);
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
       seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     if (std::strcmp(argv[i], "--max-level") == 0 && i + 1 < argc) max_level = std::atoi(argv[++i]);
     if (std::strncmp(argv[i], "--report=", 9) == 0) report_path = argv[i] + 9;
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
   }
 
   const mg::cluster::AthlonCostModel cost;
   mg::cluster::SimConfig config;
   config.runs = runs;
   config.seed = seed;
+  mg::obs::SpanTracer sim_tracer;
+  if (!trace_path.empty()) {
+    sim_tracer.enable();  // explicit-time records; the sim supplies virtual times
+    config.tracer = &sim_tracer;
+  }
 
   std::printf("Cluster: %zu hosts (paper mix: 24x1200 + 5x1400 + 3x1466 MHz), 100 Mbps switched\n",
               config.cluster.size());
@@ -93,6 +105,12 @@ int main(int argc, char** argv) {
     report.derived().end_object();
     if (!report.write(report_path)) return 1;
     std::printf("\nreport written to %s\n", report_path.c_str());
+  }
+
+  if (!trace_path.empty()) {
+    if (!mg::obs::write_text_file(trace_path, sim_tracer.chrome_trace_json())) return 1;
+    std::printf("chrome trace (%zu spans) written to %s\n", sim_tracer.size(),
+                trace_path.c_str());
   }
 
   return 0;

@@ -7,6 +7,7 @@
 //                   [--jobs=N] [--priority=P] [--weight=W] [--tag=S]
 //                   [--faults=SPEC] [--cancel-after-ms=N] [--verify]
 //                   [--report-dir=DIR] [--ping] [--timeout-ms=N]
+//                   [--stats] [--stats-format=json|prom]
 //
 // --jobs=N            submit N jobs of this spec (tags suffixed -1..-N) and
 //                     wait for all of them.
@@ -16,6 +17,13 @@
 // --report-dir=DIR    write each job's self-contained report to
 //                     DIR/job_<id>.json.
 // --ping              round-trip one Ping first and print the latency.
+// --stats             fetch the server's live service stats and print them to
+//                     stdout (scheduler depth, lane utilization, per-tenant
+//                     queue/running detail, latency histograms).  Without a
+//                     spec this is the whole run; with one, stats print after
+//                     the jobs finish (so the tenant view reflects them).
+// --stats-format=F    stats rendering: json (default) or prom (Prometheus
+//                     text exposition).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -25,6 +33,7 @@
 #include "obs/json_writer.hpp"
 #include "solver_cli.hpp"
 #include "svc/client.hpp"
+#include "svc/stats.hpp"
 #include "transport/seq_solver.hpp"
 
 namespace {
@@ -49,6 +58,8 @@ int main(int argc, char** argv) {
   long timeout_ms = 120'000;
   bool verify = false;
   bool ping = false;
+  bool stats = false;
+  std::string stats_format = "json";
   std::string report_dir;
   int positional = 0;
 
@@ -79,6 +90,14 @@ int main(int argc, char** argv) {
       verify = true;
     } else if (std::strcmp(argv[i], "--ping") == 0) {
       ping = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
+    } else if (flag_value(argv[i], "--stats-format=", v)) {
+      stats_format = v;
+      if (stats_format != "json" && stats_format != "prom") {
+        std::fprintf(stderr, "bad --stats-format '%s' (want json or prom)\n", v);
+        return 2;
+      }
     } else if (argv[i][0] == '-' && argv[i][1] == '-') {
       std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
       return 2;
@@ -109,7 +128,21 @@ int main(int argc, char** argv) {
       const auto rtt = client.ping();
       std::printf("ping: %lld us\n", static_cast<long long>(rtt.count()));
       // A bare liveness probe: no spec given means nothing to submit.
-      if (positional == 0) return 0;
+      if (positional == 0 && !stats) return 0;
+    }
+
+    const auto print_stats = [&client, &stats_format] {
+      const svc::ServiceStats s = client.stats();
+      const std::string text = stats_format == "prom" ? svc::service_stats_prometheus(s)
+                                                      : svc::service_stats_json(s);
+      std::fputs(text.c_str(), stdout);
+      if (text.empty() || text.back() != '\n') std::fputc('\n', stdout);
+    };
+
+    // A bare stats scrape: no spec given means nothing to submit.
+    if (stats && positional == 0) {
+      print_stats();
+      return 0;
     }
 
     // Submit every job up front — the whole point of the service is that the
@@ -177,6 +210,7 @@ int main(int argc, char** argv) {
         }
       }
     }
+    if (stats) print_stats();
     return failures == 0 ? 0 : 1;
   } catch (const svc::ClientError& e) {
     std::fprintf(stderr, "%s\n", e.what());

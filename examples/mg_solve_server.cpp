@@ -4,7 +4,8 @@
 // Usage:
 //   mg_solve_server [--listen=HOST:PORT] [--lanes=N] [--workers=N]
 //                   [--max-running=N] [--max-queued=N] [--idle-timeout-ms=N]
-//                   [--run-seconds=N] [--report=PATH]
+//                   [--run-seconds=N] [--report=PATH] [--trace=PATH]
+//                   [--stats-interval=N]
 //
 // --lanes=N       fleet width: lane threads executing job tasks (default 4).
 // --workers=N     fork N TCP subsolve worker processes and route every task
@@ -12,6 +13,12 @@
 // --run-seconds=N exit after N seconds (soak harnesses); default: run until
 //                 stdin closes or SIGINT/SIGTERM.
 // --report=PATH   write a fleet-wide run report (svc.* metrics) on exit.
+// --trace=PATH    write a Chrome trace_event JSON of the server's spans on
+//                 exit; with --workers this merges the workers' subsolve
+//                 spans shipped back on the telemetry channel.
+// --stats-interval=N
+//                 print a live ServiceStats JSON line to stdout every N
+//                 seconds (the same payload `mg_solve_client --stats` gets).
 //
 // The line "mg_solve_server listening on PORT" goes to stdout (flushed)
 // first, so scripts can scrape the ephemeral port.
@@ -26,8 +33,10 @@
 #include "core/remote_worker.hpp"
 #include "net/remote.hpp"
 #include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "solver_cli.hpp"
 #include "svc/job_server.hpp"
+#include "svc/stats.hpp"
 
 namespace {
 
@@ -54,7 +63,9 @@ int main(int argc, char** argv) {
   std::size_t max_queued = 16;
   long idle_timeout_ms = 0;
   long run_seconds = 0;
+  long stats_interval = 0;
   std::string report_path;
+  std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
@@ -75,8 +86,12 @@ int main(int argc, char** argv) {
       idle_timeout_ms = std::atol(v);
     } else if (flag_value(argv[i], "--run-seconds=", v)) {
       run_seconds = std::atol(v);
+    } else if (flag_value(argv[i], "--stats-interval=", v)) {
+      stats_interval = std::atol(v);
     } else if (flag_value(argv[i], "--report=", v)) {
       report_path = v;
+    } else if (flag_value(argv[i], "--trace=", v)) {
+      trace_path = v;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
       return 2;
@@ -86,6 +101,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--lanes must be positive\n");
     return 2;
   }
+
+  // Tracing must be on before any spans fire (and before the fork, so the
+  // workers inherit nothing: they enable their own tracer lazily when the
+  // first trace-context-carrying work unit arrives).
+  if (!trace_path.empty()) obs::enable_wall_clock(obs::tracer());
 
   // TCP fleet: bind the worker listener and fork while still single-threaded
   // (same discipline as the batch solver's tcp backend), then bring up the
@@ -131,10 +151,14 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, on_signal);
 
   const auto started = std::chrono::steady_clock::now();
+  auto next_stats_at = started + std::chrono::seconds(stats_interval);
   while (!g_stop) {
-    if (run_seconds > 0 &&
-        std::chrono::steady_clock::now() - started >= std::chrono::seconds(run_seconds)) {
-      break;
+    const auto now = std::chrono::steady_clock::now();
+    if (run_seconds > 0 && now - started >= std::chrono::seconds(run_seconds)) break;
+    if (stats_interval > 0 && now >= next_stats_at) {
+      next_stats_at = now + std::chrono::seconds(stats_interval);
+      std::printf("%s\n", svc::service_stats_json(server.stats()).c_str());
+      std::fflush(stdout);
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
@@ -161,6 +185,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(sc.idle_closed),
               static_cast<unsigned long long>(sc.protocol_errors),
               static_cast<unsigned long long>(sc.pings));
+
+  if (!trace_path.empty()) {
+    if (!obs::write_text_file(trace_path, obs::tracer().chrome_trace_json())) {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (%zu spans)\n", trace_path.c_str(), obs::tracer().size());
+  }
 
   if (!report_path.empty()) {
     obs::RunReport report("mg_solve_server");

@@ -39,6 +39,7 @@ struct SolverCli {
   double le_tol = 1e-3;
 
   std::string report_path;
+  std::string trace_path;  ///< Chrome trace_event JSON of the run's spans
   std::string fault_spec;
   std::string net_fault_spec;
   std::string backend = "threads";
@@ -101,6 +102,8 @@ inline SolverCli parse_solver_cli(int argc, const char* const* argv) {
     const char* v = nullptr;
     if (starts_with(arg, "--report=", 9, v)) {
       cli.report_path = v;
+    } else if (starts_with(arg, "--trace=", 8, v)) {
+      cli.trace_path = v;
     } else if (starts_with(arg, "--faults=", 9, v)) {
       cli.fault_spec = v;
     } else if (starts_with(arg, "--net-faults=", 13, v)) {
@@ -164,6 +167,11 @@ inline SolverCli parse_solver_cli(int argc, const char* const* argv) {
     }
     if (!cli.report_path.empty()) {
       return fail("--connect is worker mode; --report is master-side");
+    }
+    if (!cli.trace_path.empty()) {
+      // Worker spans reach the master's trace through the telemetry channel;
+      // a worker-local trace file would duplicate them on the wrong timeline.
+      return fail("--connect is worker mode; --trace is master-side");
     }
   } else if (cli.backend != "tcp") {
     if (workers_given) return fail("--workers requires --backend=tcp");

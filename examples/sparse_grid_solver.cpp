@@ -5,13 +5,20 @@
 // (the §6 claim), and reports accuracy against the analytic solution.
 //
 // Usage mirrors the paper's command line (§3: root, level, le_tol):
-//   sparse_grid_solver [root] [level] [le_tol] [--report=PATH] [--faults=SPEC]
+//   sparse_grid_solver [root] [level] [le_tol] [--report=PATH] [--trace=PATH]
+//                      [--faults=SPEC]
 //                      [--backend=threads|tcp] [--workers=N] [--listen=HOST:PORT]
 //                      [--connect=HOST:PORT] [--net-faults=SPEC]
 //
 // --report=PATH additionally writes a JSON run report: both solves' wall
 // times, the per-grid records, the bit-exactness diff, the accuracy numbers,
 // and a snapshot of the metrics registry (src/obs/report.hpp).
+//
+// --trace=PATH writes a Chrome trace_event JSON of the run's spans (load in
+// about:tracing / Perfetto).  With --backend=tcp this is the *merged*
+// cross-process trace: worker subsolve spans ship back on the telemetry
+// channel, get re-timed onto the master's clock, and nest under the per-
+// channel dispatch spans.
 //
 // --faults=SPEC (e.g. --faults=seed=7,crash=0.3,hang=0.1,corrupt=0.05) runs
 // the concurrent solve under seeded fault injection with the fault-tolerant
@@ -42,6 +49,7 @@
 #include "fault/fault_plan.hpp"
 #include "net/remote.hpp"
 #include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "solver_cli.hpp"
 #include "transport/seq_solver.hpp"
 
@@ -76,8 +84,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", cli.error.c_str());
     std::fprintf(stderr,
                  "usage: sparse_grid_solver [root] [level] [le_tol] [--report=PATH]\n"
-                 "         [--faults=SPEC] [--backend=threads|tcp] [--workers=N]\n"
-                 "         [--listen=HOST:PORT] [--net-faults=SPEC]\n"
+                 "         [--trace=PATH] [--faults=SPEC] [--backend=threads|tcp]\n"
+                 "         [--workers=N] [--listen=HOST:PORT] [--net-faults=SPEC]\n"
                  "       sparse_grid_solver --connect=HOST:PORT   (worker mode)\n");
     return 2;
   }
@@ -96,6 +104,11 @@ int main(int argc, char** argv) {
   }
 
   const bool tcp = cli.backend == "tcp";
+
+  // Enable span recording up front so both solves (and, over tcp, the merged
+  // worker telemetry) land in one trace.  Purely an observer: the solve's
+  // numbers must be identical with or without it.
+  if (!cli.trace_path.empty()) obs::enable_wall_clock(obs::tracer());
 
   // TCP master: bind first, fork the workers while this process is still
   // single-threaded, and only then (below) start the endpoint's event loop —
@@ -213,6 +226,15 @@ int main(int argc, char** argv) {
       seq.combined.l2_error([&](double x, double y) { return p.exact(x, y, t1); });
   std::printf("\ncombined solution vs analytic at t=%.2f: max error %.3e, L2 error %.3e\n", t1,
               max_err, l2_err);
+
+  if (!cli.trace_path.empty()) {
+    if (!obs::write_text_file(cli.trace_path, obs::tracer().chrome_trace_json())) {
+      std::fprintf(stderr, "cannot write trace to %s\n", cli.trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (%zu spans)\n", cli.trace_path.c_str(),
+                obs::tracer().size());
+  }
 
   if (!report_path.empty()) {
     obs::RunReport report("sparse_grid_solver");

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Schema check for committed bench trajectory files (BENCH_*.json).
+
+A trajectory file is one JSON document:
+
+    {"schema": "bench_trajectory", "schema_version": 1, "entries": [
+      {"label": "...", "timestamp": "...", "report": {...}},
+      ...
+    ]}
+
+perf_smoke / svc_bench append one labelled entry per run, so the committed
+files accumulate a per-PR performance history.  CI runs this over both the
+committed files and the ones a fresh bench run just appended to, which also
+proves append keeps the document well-formed.
+
+Usage: check_bench.py FILE [FILE...]
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    return 1
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or invalid JSON: {e}")
+
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    if doc.get("schema") != "bench_trajectory":
+        return fail(path, f"schema is {doc.get('schema')!r}, want 'bench_trajectory'")
+    if doc.get("schema_version") != 1:
+        return fail(path, f"schema_version is {doc.get('schema_version')!r}, want 1")
+
+    entries = doc.get("entries")
+    if not isinstance(entries, list) or not entries:
+        return fail(path, "entries must be a non-empty array")
+
+    rc = 0
+    for i, entry in enumerate(entries):
+        where = f"entries[{i}]"
+        if not isinstance(entry, dict):
+            rc |= fail(path, f"{where} is not an object")
+            continue
+        label = entry.get("label")
+        if not isinstance(label, str) or not label:
+            rc |= fail(path, f"{where}.label must be a non-empty string")
+        if not isinstance(entry.get("timestamp"), str):
+            rc |= fail(path, f"{where}.timestamp must be a string")
+        report = entry.get("report")
+        if not isinstance(report, dict) or not report:
+            rc |= fail(path, f"{where}.report must be a non-empty object")
+    if rc == 0:
+        labels = ", ".join(e["label"] for e in entries)
+        print(f"{path}: ok ({len(entries)} entries: {labels})")
+    return rc
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    rc = 0
+    for path in argv[1:]:
+        rc |= check_file(path)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -53,6 +53,8 @@ const char* to_string(FrameType t) {
     case FrameType::CancelJob: return "cancel-job";
     case FrameType::Ping: return "ping";
     case FrameType::Pong: return "pong";
+    case FrameType::GetStats: return "get-stats";
+    case FrameType::StatsReport: return "stats-report";
   }
   return "?";
 }
@@ -100,7 +102,7 @@ std::optional<Frame> FrameDecoder::next() {
   }
   const std::uint16_t raw_type = get_u16(h + 6);
   if (raw_type < static_cast<std::uint16_t>(FrameType::Hello) ||
-      raw_type > static_cast<std::uint16_t>(FrameType::Pong)) {
+      raw_type > static_cast<std::uint16_t>(FrameType::StatsReport)) {
     throw FrameError("frame: unknown type " + std::to_string(raw_type));
   }
   const std::uint32_t payload_size = get_u32(h + 16);

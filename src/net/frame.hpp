@@ -28,7 +28,7 @@
 namespace mg::net {
 
 enum class FrameType : std::uint16_t {
-  Hello = 1,   ///< worker -> master on connect: u64 pid, u64 connect attempt
+  Hello = 1,   ///< worker -> master: u64 pid, u64 connect attempt, f64 clock sample
   Work = 2,    ///< master -> worker: marshalled work unit
   Result = 3,  ///< worker -> master: marshalled result, same seq as the Work
   Error = 4,   ///< worker -> master: compute failed; payload = message text
@@ -44,13 +44,19 @@ enum class FrameType : std::uint16_t {
   // ---- keepalive (either direction) ----
   Ping = 11,  ///< payload echoed back verbatim in the Pong, same seq
   Pong = 12,  ///< reply to a Ping; also refreshes the server's idle clock
+
+  // ---- live observability (client <-> JobServer) ----
+  GetStats = 13,     ///< client -> server: empty payload
+  StatsReport = 14,  ///< server -> client: marshalled ServiceStats, same seq
 };
 
 const char* to_string(FrameType t);
 
 struct FrameHeader {
   static constexpr std::uint32_t kMagic = 0x4D474E46u;  // "MGNF" little-endian
-  static constexpr std::uint16_t kVersion = 1;
+  // v2: Hello grew a wall-clock sample, Work may carry a trace-context
+  // prefix, Result may be a telemetry envelope, GetStats/StatsReport added.
+  static constexpr std::uint16_t kVersion = 2;
   static constexpr std::size_t kWireSize = 28;
 
   std::uint16_t version = kVersion;

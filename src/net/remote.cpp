@@ -10,6 +10,8 @@
 #include <thread>
 
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "support/bytes.hpp"
 #include "support/check.hpp"
 
 namespace mg::net {
@@ -42,6 +44,10 @@ struct NetMetrics {
   obs::Counter& faults_dropped;
   obs::Counter& faults_delayed;
   obs::Counter& faults_truncated;
+  obs::Counter& telemetry_batches;
+  obs::Counter& telemetry_spans;
+  obs::Counter& telemetry_rejected;
+  obs::Gauge& clock_offset_seconds;
   obs::Histogram& round_trip_seconds;
 };
 
@@ -60,6 +66,10 @@ NetMetrics& net_metrics() {
       obs::registry().counter("net.faults_dropped"),
       obs::registry().counter("net.faults_delayed"),
       obs::registry().counter("net.faults_truncated"),
+      obs::registry().counter("net.telemetry_batches"),
+      obs::registry().counter("net.telemetry_spans"),
+      obs::registry().counter("net.telemetry_rejected"),
+      obs::registry().gauge("net.clock_offset_seconds"),
       obs::registry().histogram("net.round_trip_seconds", obs::default_latency_buckets()),
   };
   return m;
@@ -81,6 +91,9 @@ struct RemoteEndpoint::CounterCells {
   std::atomic<std::uint64_t> faults_dropped{0};
   std::atomic<std::uint64_t> faults_delayed{0};
   std::atomic<std::uint64_t> faults_truncated{0};
+  std::atomic<std::uint64_t> telemetry_batches{0};
+  std::atomic<std::uint64_t> telemetry_spans{0};
+  std::atomic<std::uint64_t> telemetry_rejected{0};
 
   void bump(std::atomic<std::uint64_t>& cell, obs::Counter& mirror, std::uint64_t n = 1) {
     cell.fetch_add(n, std::memory_order_relaxed);
@@ -92,6 +105,12 @@ struct RemoteEndpoint::Trip {
   std::vector<std::uint8_t> work;
   std::uint64_t seq = 0;      ///< loop thread: assigned at dispatch
   std::uint64_t channel = 0;  ///< loop thread: leased channel id, 0 = queued
+  std::uint64_t job_id = 0;   ///< caller-supplied trace attribution
+
+  // Telemetry (loop thread): set when a trace context was prepended to the
+  // Work payload — the Result is then a telemetry envelope.
+  bool context_sent = false;
+  obs::TraceContext context;
 
   std::mutex m;
   std::condition_variable cv;
@@ -109,8 +128,14 @@ struct RemoteEndpoint::Channel {
   std::size_t out_off = 0;
   std::shared_ptr<Trip> active;      ///< in-flight round trip, if any
 
+  // Telemetry: per-connection clock alignment + the trace track all of this
+  // channel's dispatch and worker spans land on.
+  obs::ClockOffsetEstimator offset;
+  std::string track;
+
   Channel(std::uint64_t id_, Socket sock_, std::size_t max_payload)
-      : id(id_), sock(std::move(sock_)), decoder(max_payload) {}
+      : id(id_), sock(std::move(sock_)), decoder(max_payload),
+        track("tcp.ch" + std::to_string(id_)) {}
 };
 
 RemoteEndpoint::RemoteEndpoint(TcpListener listener, RemoteEndpointConfig config)
@@ -119,6 +144,9 @@ RemoteEndpoint::RemoteEndpoint(TcpListener listener, RemoteEndpointConfig config
       counters_(std::make_unique<CounterCells>()) {
   MG_REQUIRE(listener_.valid());
   port_ = listener_.port();
+  static std::atomic<std::uint64_t> endpoint_ordinal{0};
+  trace_id_ = (static_cast<std::uint64_t>(::getpid()) << 16) ^
+              endpoint_ordinal.fetch_add(1, std::memory_order_relaxed);
   loop_.start();
   loop_.post([this] { setup_on_loop(); });
 }
@@ -199,13 +227,23 @@ void RemoteEndpoint::on_channel_io(std::uint64_t id, short revents) {
 void RemoteEndpoint::handle_frame(Channel& ch, Frame frame) {
   switch (frame.header.type) {
     case FrameType::Hello: {
-      if (ch.hello_seen || frame.payload.size() != 16) {
+      // 24 bytes since protocol v2 (pid, attempt, f64 clock sample); the
+      // 16-byte form is still accepted so a bare handshake keeps working.
+      if (ch.hello_seen || (frame.payload.size() != 16 && frame.payload.size() != 24)) {
         close_channel(ch.id, "protocol violation: bad Hello");
         return;
       }
       ch.hello_seen = true;
       ch.worker_pid = get_u64(frame.payload.data());
       const std::uint64_t attempt = get_u64(frame.payload.data() + 8);
+      if (frame.payload.size() == 24) {
+        // Coarse one-way seed: refined by the first round trip's NTP-style
+        // two-sided sample, but good enough to align spans immediately.
+        const std::uint64_t bits = get_u64(frame.payload.data() + 16);
+        double sample = 0.0;
+        std::memcpy(&sample, &bits, sizeof sample);
+        ch.offset.seed(obs::wall_clock_seconds(), sample);
+      }
       counters_->bump(counters_->accepts, net_metrics().accepts);
       if (attempt > 0) counters_->bump(counters_->reconnects, net_metrics().reconnects);
       connected_.fetch_add(1, std::memory_order_acq_rel);
@@ -222,7 +260,46 @@ void RemoteEndpoint::handle_frame(Channel& ch, Frame frame) {
         return;
       }
       auto trip = std::move(ch.active);
-      complete_trip(trip, std::move(frame.payload));
+      if (!trip->context_sent) {
+        complete_trip(trip, std::move(frame.payload));
+        try_dispatch();
+        return;
+      }
+      // Context was sent, so the Result is a telemetry envelope.  The
+      // envelope framing itself must be sound (else the stream is suspect),
+      // but a malformed telemetry *blob* inside it only costs us the
+      // telemetry: the result bytes are delivered and the job proceeds on
+      // local-only metrics.
+      obs::ResultEnvelope env;
+      try {
+        env = obs::unwrap_result(frame.payload);
+      } catch (const support::DecodeError& e) {
+        close_channel(ch.id, std::string("protocol violation: ") + e.what());
+        return;
+      }
+      const double t3 = obs::wall_clock_seconds();
+      if (!env.telemetry.empty()) {
+        try {
+          const obs::TelemetryBatch batch = obs::decode_telemetry_batch(env.telemetry);
+          ch.offset.update(trip->context.master_send_seconds, batch.worker_recv_seconds,
+                           batch.worker_send_seconds, t3);
+          net_metrics().clock_offset_seconds.set(ch.offset.offset_seconds());
+          // The master-side dispatch span and the worker's re-timed spans
+          // share this channel's track, so the worker spans nest under the
+          // dispatch on the merged timeline.
+          obs::tracer().record({"dispatch", "net", ch.track,
+                                trip->context.master_send_seconds, t3});
+          obs::merge_telemetry_batch(batch, ch.offset, ch.track,
+                                     trip->context.master_send_seconds, t3,
+                                     obs::registry(), obs::tracer());
+          counters_->bump(counters_->telemetry_batches, net_metrics().telemetry_batches);
+          counters_->bump(counters_->telemetry_spans, net_metrics().telemetry_spans,
+                          batch.spans.size());
+        } catch (const support::DecodeError&) {
+          counters_->bump(counters_->telemetry_rejected, net_metrics().telemetry_rejected);
+        }
+      }
+      complete_trip(trip, std::move(env.result));
       try_dispatch();
       return;
     }
@@ -245,6 +322,8 @@ void RemoteEndpoint::handle_frame(Channel& ch, Frame frame) {
     case FrameType::Work:
       close_channel(ch.id, "protocol violation: Work frame from worker");
       return;
+    default:
+      break;  // job-API / stats frames have no business on a worker channel
   }
   close_channel(ch.id, "protocol violation: unknown frame type");
 }
@@ -291,7 +370,18 @@ void RemoteEndpoint::dispatch(Channel& ch, std::shared_ptr<Trip> trip) {
   trip->channel = ch.id;
   ch.active = trip;
   const std::uint64_t ordinal = transfer_ordinal_++;
-  std::vector<std::uint8_t> bytes = encode_frame(FrameType::Work, trip->seq, trip->work);
+  std::vector<std::uint8_t> bytes;
+  if (config_.telemetry) {
+    trip->context.trace_id = trace_id_;
+    trip->context.span_id = next_span_id_++;
+    trip->context.job_id = trip->job_id;
+    trip->context.master_send_seconds = obs::wall_clock_seconds();
+    trip->context_sent = true;
+    bytes = encode_frame(FrameType::Work, trip->seq,
+                         obs::prepend_context(trip->context, trip->work));
+  } else {
+    bytes = encode_frame(FrameType::Work, trip->seq, trip->work);
+  }
 
   const fault::FaultPlan* plan = config_.faults;
   if (plan != nullptr) {
@@ -400,7 +490,8 @@ bool RemoteEndpoint::wait_for_workers(std::size_t n, std::chrono::milliseconds t
 }
 
 RemoteEndpoint::RoundTrip RemoteEndpoint::round_trip(std::vector<std::uint8_t> work,
-                                                     const std::function<bool()>& cancelled) {
+                                                     const std::function<bool()>& cancelled,
+                                                     std::uint64_t job_id) {
   using clock = std::chrono::steady_clock;
   if (down_.load(std::memory_order_acquire)) {
     return RoundTrip{false, {}, "endpoint is shut down"};
@@ -408,6 +499,7 @@ RemoteEndpoint::RoundTrip RemoteEndpoint::round_trip(std::vector<std::uint8_t> w
 
   auto trip = std::make_shared<Trip>();
   trip->work = std::move(work);
+  trip->job_id = job_id;
   const auto start = clock::now();
   const bool has_deadline = config_.round_trip_deadline.count() > 0;
   const auto deadline = start + config_.round_trip_deadline;
@@ -506,6 +598,9 @@ RemoteCounters RemoteEndpoint::counters() const {
   c.faults_dropped = counters_->faults_dropped.load(std::memory_order_relaxed);
   c.faults_delayed = counters_->faults_delayed.load(std::memory_order_relaxed);
   c.faults_truncated = counters_->faults_truncated.load(std::memory_order_relaxed);
+  c.telemetry_batches = counters_->telemetry_batches.load(std::memory_order_relaxed);
+  c.telemetry_spans = counters_->telemetry_spans.load(std::memory_order_relaxed);
+  c.telemetry_rejected = counters_->telemetry_rejected.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -514,6 +609,23 @@ RemoteCounters RemoteEndpoint::counters() const {
 // ---------------------------------------------------------------------------
 
 namespace {
+
+// Worker-process metrics.  Bumped inside the telemetry capture window so
+// they ship to the master as worker-tagged deltas (worker.pid<N>.net.*).
+struct WorkerMetrics {
+  obs::Counter& works_handled;
+  obs::Counter& work_bytes;
+  obs::Counter& result_bytes;
+};
+
+WorkerMetrics& worker_metrics() {
+  static WorkerMetrics m{
+      obs::registry().counter("net.worker.works_handled"),
+      obs::registry().counter("net.worker.work_bytes"),
+      obs::registry().counter("net.worker.result_bytes"),
+  };
+  return m;
+}
 
 /// Serves frames on one established connection.  Returns true for an orderly
 /// Bye (exit the worker), false to reconnect.
@@ -535,8 +647,30 @@ bool serve_connection(Socket& sock, const WorkHandler& handler, std::size_t max_
           case FrameType::Work: {
             std::vector<std::uint8_t> out;
             try {
-              std::vector<std::uint8_t> reply = handler(frame->payload);
-              out = encode_frame(FrameType::Result, frame->header.seq, reply);
+              // A trace-context prefix turns this trip into a telemetry
+              // capture: everything the handler adds to the process-global
+              // registry or tracer between begin() and end() ships back
+              // piggybacked on the Result.
+              const obs::SplitWork split = obs::split_context(frame->payload);
+              if (split.context) {
+                // The master asked for telemetry: make sure handler spans are
+                // recorded.  Each session drains the tracer, so a serving
+                // worker never accumulates spans across trips.
+                if (!obs::tracer().enabled()) obs::enable_wall_clock(obs::tracer());
+                obs::WorkerTelemetrySession session;
+                session.begin();
+                worker_metrics().works_handled.add();
+                worker_metrics().work_bytes.add(split.work.size());
+                std::vector<std::uint8_t> reply = handler(split.work);
+                worker_metrics().result_bytes.add(reply.size());
+                obs::TelemetryBatch batch = session.end(*split.context);
+                batch.worker_pid = static_cast<std::uint64_t>(::getpid());
+                out = encode_frame(FrameType::Result, frame->header.seq,
+                                   obs::wrap_result(encode_telemetry_batch(batch), reply));
+              } else {
+                std::vector<std::uint8_t> reply = handler(split.work);
+                out = encode_frame(FrameType::Result, frame->header.seq, reply);
+              }
             } catch (const std::exception& e) {
               const std::string what = e.what();
               out = encode_frame(FrameType::Error, frame->header.seq,
@@ -573,9 +707,14 @@ int run_worker_loop(const std::string& host, std::uint16_t port, const WorkHandl
     }
     consecutive_failures = 0;
 
-    std::uint8_t hello[16];
+    std::uint8_t hello[24];
     put_u64(hello, static_cast<std::uint64_t>(::getpid()));
     put_u64(hello + 8, attempt);
+    // Wall-clock sample for the master's coarse clock-offset seed (v2).
+    const double sample = obs::wall_clock_seconds();
+    std::uint64_t sample_bits = 0;
+    std::memcpy(&sample_bits, &sample, sizeof sample_bits);
+    put_u64(hello + 16, sample_bits);
     ++attempt;
     const std::vector<std::uint8_t> frame = encode_frame(FrameType::Hello, 0, hello, sizeof hello);
     if (!send_all(sock, frame.data(), frame.size())) continue;

@@ -46,6 +46,10 @@ struct RemoteEndpointConfig {
   /// probabilities from the plan's net_* knobs).  Not owned; may be null.
   const fault::FaultPlan* faults = nullptr;
   std::size_t max_payload = FrameDecoder::kDefaultMaxPayload;
+  /// Cross-process telemetry: prepend a trace context to every Work payload
+  /// and merge the worker's piggybacked counter/span batch from the Result.
+  /// A pure observer either way — result bytes are delivered verbatim.
+  bool telemetry = true;
 };
 
 /// Point-in-time copy of the endpoint's counters (also mirrored into the
@@ -64,6 +68,9 @@ struct RemoteCounters {
   std::uint64_t faults_dropped = 0;
   std::uint64_t faults_delayed = 0;
   std::uint64_t faults_truncated = 0;
+  std::uint64_t telemetry_batches = 0;   ///< worker batches merged
+  std::uint64_t telemetry_spans = 0;     ///< worker spans re-timed + merged
+  std::uint64_t telemetry_rejected = 0;  ///< malformed batches dropped (job unaffected)
 };
 
 class RemoteEndpoint {
@@ -94,9 +101,12 @@ class RemoteEndpoint {
   /// matching Result/Error frame arrives or the channel dies.  `cancelled`
   /// (optional) is polled while waiting so a killed proxy process can
   /// abandon the wait; a cancelled or timed-out in-flight trip closes its
-  /// channel (the worker will reconnect fresh).  Thread-safe.
+  /// channel (the worker will reconnect fresh).  Thread-safe.  `job_id`
+  /// (optional) tags the dispatch's trace context so worker spans can be
+  /// attributed to a service job.
   RoundTrip round_trip(std::vector<std::uint8_t> work,
-                       const std::function<bool()>& cancelled = {});
+                       const std::function<bool()>& cancelled = {},
+                       std::uint64_t job_id = 0);
 
   /// Stops accepting, closes every channel (workers see EOF and eventually
   /// give up reconnecting), fails pending trips, and joins the loop thread.
@@ -132,6 +142,8 @@ class RemoteEndpoint {
   std::uint64_t next_channel_id_ = 1;
   std::uint64_t next_seq_ = 1;
   std::uint64_t transfer_ordinal_ = 0;  ///< work-frame sends, for the fault plan
+  std::uint64_t trace_id_ = 0;          ///< one per endpoint (pid + ordinal)
+  std::uint64_t next_span_id_ = 1;      ///< dispatch span ids within the trace
 
   // ---- shared state ----
   std::atomic<std::size_t> connected_{0};

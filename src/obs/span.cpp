@@ -17,6 +17,8 @@ double uptime_clock(void*) {
 
 void enable_wall_clock(SpanTracer& t) { t.enable(&uptime_clock, nullptr); }
 
+double wall_clock_seconds() { return uptime_clock(nullptr); }
+
 void SpanTracer::enable(ClockFn clock, void* clock_state) {
   std::lock_guard<std::mutex> lock(mutex_);
   clock_ = clock;
@@ -57,6 +59,13 @@ std::size_t SpanTracer::size() const {
 void SpanTracer::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   spans_.clear();
+}
+
+std::vector<SpanRecord> SpanTracer::drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.swap(spans_);
+  return out;
 }
 
 std::string SpanTracer::chrome_trace_json() const {

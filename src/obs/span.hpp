@@ -50,6 +50,10 @@ class SpanTracer {
   std::size_t size() const;
   void clear();
 
+  /// Atomically removes and returns all recorded spans.  Used by workers to
+  /// ship completed spans per trip without double-reporting across trips.
+  std::vector<SpanRecord> drain();
+
   /// Serialises all spans as Chrome trace_event JSON ("X" complete events,
   /// microsecond timestamps, one tid per distinct track).
   std::string chrome_trace_json() const;
@@ -70,6 +74,11 @@ SpanTracer& tracer();
 /// Enables `t` against a process-steady wall clock (seconds since the
 /// clock's first use in this process).
 void enable_wall_clock(SpanTracer& t);
+
+/// Seconds on the same process-steady clock `enable_wall_clock` plugs in.
+/// Usable whether or not any tracer is enabled — this is the per-process
+/// timebase the cross-process clock-offset estimator samples.
+double wall_clock_seconds();
 
 /// RAII span against a tracer's clock.  When the tracer is null or disabled
 /// at construction, both constructor and destructor are no-ops (and nothing

@@ -1,0 +1,300 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/bytes.hpp"
+
+namespace mg::obs {
+
+using support::ByteReader;
+using support::ByteWriter;
+using support::DecodeError;
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+double get_f64(const std::uint8_t* p) {
+  const std::uint64_t bits = get_u64(p);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Trace context
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> prepend_context(const TraceContext& ctx,
+                                          const std::vector<std::uint8_t>& work) {
+  std::vector<std::uint8_t> out;
+  out.reserve(TraceContext::kWireSize + work.size());
+  put_u32(out, TraceContext::kMagic);
+  put_u16(out, TraceContext::kVersion);
+  put_u16(out, 0);  // reserved
+  put_u64(out, ctx.trace_id);
+  put_u64(out, ctx.span_id);
+  put_u64(out, ctx.job_id);
+  put_f64(out, ctx.master_send_seconds);
+  out.insert(out.end(), work.begin(), work.end());
+  return out;
+}
+
+SplitWork split_context(const std::vector<std::uint8_t>& payload) {
+  SplitWork split;
+  if (payload.size() < 4 || get_u32(payload.data()) != TraceContext::kMagic) {
+    split.work = payload;  // no context prefix: the whole payload is work
+    return split;
+  }
+  if (payload.size() < TraceContext::kWireSize) {
+    throw DecodeError("trace context: truncated prefix");
+  }
+  if (get_u16(payload.data() + 4) != TraceContext::kVersion) {
+    throw DecodeError("trace context: unsupported version");
+  }
+  TraceContext ctx;
+  ctx.trace_id = get_u64(payload.data() + 8);
+  ctx.span_id = get_u64(payload.data() + 16);
+  ctx.job_id = get_u64(payload.data() + 24);
+  ctx.master_send_seconds = get_f64(payload.data() + 32);
+  split.context = ctx;
+  split.work.assign(payload.begin() + TraceContext::kWireSize, payload.end());
+  return split;
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry batch
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_telemetry_batch(const TelemetryBatch& batch) {
+  ByteWriter w;
+  w.write_u64((static_cast<std::uint64_t>(TelemetryBatch::kMagic) << 16) |
+              TelemetryBatch::kVersion);
+  w.write_u64(batch.context.trace_id);
+  w.write_u64(batch.context.span_id);
+  w.write_u64(batch.context.job_id);
+  w.write_f64(batch.context.master_send_seconds);
+  w.write_u64(batch.worker_pid);
+  w.write_f64(batch.worker_recv_seconds);
+  w.write_f64(batch.worker_send_seconds);
+  w.write_u64(batch.counters.size());
+  for (const auto& c : batch.counters) {
+    w.write_string(c.name);
+    w.write_u64(c.delta);
+  }
+  w.write_u64(batch.histograms.size());
+  for (const auto& h : batch.histograms) {
+    w.write_string(h.name);
+    w.write_u64(h.count);
+    w.write_f64(h.sum);
+  }
+  w.write_u64(batch.spans.size());
+  for (const auto& s : batch.spans) {
+    w.write_string(s.name);
+    w.write_string(s.category);
+    w.write_string(s.track);
+    w.write_f64(s.start);
+    w.write_f64(s.end);
+  }
+  return w.take();
+}
+
+TelemetryBatch decode_telemetry_batch(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  const std::uint64_t tag = r.read_u64();
+  if ((tag >> 16) != TelemetryBatch::kMagic) {
+    throw DecodeError("telemetry batch: bad magic");
+  }
+  if ((tag & 0xFFFFu) != TelemetryBatch::kVersion) {
+    throw DecodeError("telemetry batch: unsupported version");
+  }
+  TelemetryBatch batch;
+  batch.context.trace_id = r.read_u64();
+  batch.context.span_id = r.read_u64();
+  batch.context.job_id = r.read_u64();
+  batch.context.master_send_seconds = r.read_f64();
+  batch.worker_pid = r.read_u64();
+  batch.worker_recv_seconds = r.read_f64();
+  batch.worker_send_seconds = r.read_f64();
+  const std::uint64_t n_counters = r.read_u64();
+  if (n_counters > bytes.size()) throw DecodeError("telemetry batch: counter count");
+  batch.counters.reserve(n_counters);
+  for (std::uint64_t i = 0; i < n_counters; ++i) {
+    CounterDelta c;
+    c.name = r.read_string();
+    c.delta = r.read_u64();
+    batch.counters.push_back(std::move(c));
+  }
+  const std::uint64_t n_hists = r.read_u64();
+  if (n_hists > bytes.size()) throw DecodeError("telemetry batch: histogram count");
+  batch.histograms.reserve(n_hists);
+  for (std::uint64_t i = 0; i < n_hists; ++i) {
+    HistogramDelta h;
+    h.name = r.read_string();
+    h.count = r.read_u64();
+    h.sum = r.read_f64();
+    batch.histograms.push_back(std::move(h));
+  }
+  const std::uint64_t n_spans = r.read_u64();
+  if (n_spans > bytes.size()) throw DecodeError("telemetry batch: span count");
+  batch.spans.reserve(n_spans);
+  for (std::uint64_t i = 0; i < n_spans; ++i) {
+    SpanRecord s;
+    s.name = r.read_string();
+    s.category = r.read_string();
+    s.track = r.read_string();
+    s.start = r.read_f64();
+    s.end = r.read_f64();
+    batch.spans.push_back(std::move(s));
+  }
+  if (!r.exhausted()) throw DecodeError("telemetry batch: trailing bytes");
+  return batch;
+}
+
+// ---------------------------------------------------------------------------
+// Result envelope
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> wrap_result(const std::vector<std::uint8_t>& telemetry,
+                                      const std::vector<std::uint8_t>& result) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + telemetry.size() + result.size());
+  put_u32(out, static_cast<std::uint32_t>(telemetry.size()));
+  out.insert(out.end(), telemetry.begin(), telemetry.end());
+  out.insert(out.end(), result.begin(), result.end());
+  return out;
+}
+
+ResultEnvelope unwrap_result(const std::vector<std::uint8_t>& payload) {
+  if (payload.size() < 4) throw DecodeError("result envelope: missing size prefix");
+  const std::uint32_t telem_size = get_u32(payload.data());
+  if (telem_size > payload.size() - 4) {
+    throw DecodeError("result envelope: telemetry size exceeds payload");
+  }
+  ResultEnvelope env;
+  env.telemetry.assign(payload.begin() + 4, payload.begin() + 4 + telem_size);
+  env.result.assign(payload.begin() + 4 + telem_size, payload.end());
+  return env;
+}
+
+// ---------------------------------------------------------------------------
+// Clock alignment
+// ---------------------------------------------------------------------------
+
+void ClockOffsetEstimator::update(double t0, double t1, double t2, double t3) {
+  const double rtt = (t3 - t0) - (t2 - t1);
+  if (valid_ && !seeded_ && rtt >= rtt_) return;  // keep the tighter sample
+  offset_ = ((t0 - t1) + (t3 - t2)) / 2.0;
+  rtt_ = rtt;
+  valid_ = true;
+  seeded_ = false;
+}
+
+void ClockOffsetEstimator::seed(double tm, double tw) {
+  if (valid_) return;  // never displace a two-sided sample
+  offset_ = tm - tw;
+  rtt_ = 0.0;
+  valid_ = true;
+  seeded_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Worker-side capture
+// ---------------------------------------------------------------------------
+
+Registry& WorkerTelemetrySession::registry_ref() { return registry(); }
+SpanTracer& WorkerTelemetrySession::tracer_ref() { return tracer(); }
+
+void WorkerTelemetrySession::begin(Registry& registry, SpanTracer& tracer) {
+  registry_ = &registry;
+  tracer_ = &tracer;
+  baseline_ = registry.snapshot();
+  recv_seconds_ = wall_clock_seconds();
+}
+
+TelemetryBatch WorkerTelemetrySession::end(const TraceContext& context) {
+  TelemetryBatch batch;
+  batch.context = context;
+  batch.worker_recv_seconds = recv_seconds_;
+
+  const MetricsSnapshot now = registry_->snapshot();
+  for (const auto& [name, value] : now.counters) {
+    const std::uint64_t before = baseline_.counter_or(name);
+    if (value > before) batch.counters.push_back({name, value - before});
+  }
+  for (const auto& [name, hist] : now.histograms) {
+    const auto it = baseline_.histograms.find(name);
+    const std::uint64_t before_count = it != baseline_.histograms.end() ? it->second.count : 0;
+    const double before_sum = it != baseline_.histograms.end() ? it->second.sum : 0.0;
+    if (hist.count > before_count) {
+      batch.histograms.push_back({name, hist.count - before_count, hist.sum - before_sum});
+    }
+  }
+  batch.spans = tracer_->drain();
+  batch.worker_send_seconds = wall_clock_seconds();
+  return batch;
+}
+
+// ---------------------------------------------------------------------------
+// Master-side merge
+// ---------------------------------------------------------------------------
+
+void merge_telemetry_batch(const TelemetryBatch& batch, const ClockOffsetEstimator& offset,
+                           const std::string& track, double clamp_start, double clamp_end,
+                           Registry& registry, SpanTracer& tracer) {
+  const std::string prefix = "worker.pid" + std::to_string(batch.worker_pid) + ".";
+  for (const auto& c : batch.counters) {
+    registry.counter(prefix + c.name).add(c.delta);
+  }
+  for (const auto& h : batch.histograms) {
+    registry.counter(prefix + h.name + ".count").add(h.count);
+    registry.gauge(prefix + h.name + ".sum").add(h.sum);
+  }
+  if (!tracer.enabled() || !offset.valid()) return;
+  for (const SpanRecord& s : batch.spans) {
+    SpanRecord merged = s;
+    merged.track = track;
+    merged.start = std::max(offset.to_master(s.start), clamp_start);
+    merged.end = std::min(offset.to_master(s.end), clamp_end);
+    if (merged.end < merged.start) continue;  // offset estimate too coarse
+    tracer.record(std::move(merged));
+  }
+}
+
+}  // namespace mg::obs

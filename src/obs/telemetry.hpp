@@ -1,0 +1,186 @@
+// Cross-process telemetry — the wire-side companion to metrics.hpp/span.hpp.
+//
+// A forked worker process is otherwise an observability black hole: its
+// counters and spans die with the child and the master's trace shows only
+// opaque round-trip blobs.  This module defines the three pieces that close
+// the gap:
+//
+//  * TraceContext — a compact trace/span/job-id context the master prepends
+//    to Work payloads (versioned, magic-tagged, CRC-covered by the enclosing
+//    frame) so worker-side spans parent under the master's dispatch span.
+//  * TelemetryBatch — the worker's per-trip export: counter/histogram deltas
+//    against its process-global registry plus completed spans on the
+//    worker's own clock, piggybacked on the Result payload.
+//  * ClockOffsetEstimator — an NTP-style half-RTT offset per connection so
+//    worker timestamps can be re-timed onto the master's timeline.
+//
+// Everything here is a pure observer: solver payload bytes are carried
+// verbatim, decode failures degrade to local-only metrics, and no telemetry
+// decision ever changes the result a round trip delivers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace mg::obs {
+
+// ---------------------------------------------------------------------------
+// Trace context (master -> worker, prefixed to the Work payload)
+// ---------------------------------------------------------------------------
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< one per master endpoint / run
+  std::uint64_t span_id = 0;   ///< one per dispatch (the parent span)
+  std::uint64_t job_id = 0;    ///< svc job id, 0 outside the service
+  double master_send_seconds = 0.0;  ///< t0 on the master's wall clock
+
+  static constexpr std::uint32_t kMagic = 0x4D475443u;  // "MGTC" little-endian
+  static constexpr std::uint16_t kVersion = 1;
+  static constexpr std::size_t kWireSize = 40;
+};
+
+/// Returns context-prefix + work (the Work payload the master sends).
+std::vector<std::uint8_t> prepend_context(const TraceContext& ctx,
+                                          const std::vector<std::uint8_t>& work);
+
+/// Splits a Work payload into its optional context prefix and the work
+/// bytes.  A payload that does not start with the context magic is returned
+/// whole (pre-telemetry master, or telemetry disabled); a payload that
+/// starts with the magic but is malformed throws support::DecodeError.
+struct SplitWork {
+  std::optional<TraceContext> context;
+  std::vector<std::uint8_t> work;
+};
+SplitWork split_context(const std::vector<std::uint8_t>& payload);
+
+// ---------------------------------------------------------------------------
+// Telemetry batch (worker -> master, piggybacked on the Result payload)
+// ---------------------------------------------------------------------------
+
+struct CounterDelta {
+  std::string name;
+  std::uint64_t delta = 0;
+};
+
+struct HistogramDelta {
+  std::string name;
+  std::uint64_t count = 0;  ///< observations during the trip
+  double sum = 0.0;         ///< summed observed values during the trip
+};
+
+struct TelemetryBatch {
+  TraceContext context;                 ///< echoed from the Work prefix
+  std::uint64_t worker_pid = 0;
+  double worker_recv_seconds = 0.0;     ///< t1: worker clock at Work receipt
+  double worker_send_seconds = 0.0;     ///< t2: worker clock at Result send
+  std::vector<CounterDelta> counters;
+  std::vector<HistogramDelta> histograms;
+  std::vector<SpanRecord> spans;        ///< worker-clock times
+
+  static constexpr std::uint32_t kMagic = 0x4D475442u;  // "MGTB" little-endian
+  static constexpr std::uint16_t kVersion = 1;
+};
+
+std::vector<std::uint8_t> encode_telemetry_batch(const TelemetryBatch& batch);
+/// Throws support::DecodeError on truncation, bad magic/version, or trailing
+/// bytes — the caller drops the batch and keeps the result (local-only
+/// degradation), it never fails the trip.
+TelemetryBatch decode_telemetry_batch(const std::vector<std::uint8_t>& bytes);
+
+// ---------------------------------------------------------------------------
+// Result envelope: [u32 telemetry size][telemetry blob][result bytes]
+// ---------------------------------------------------------------------------
+// Only used when the Work payload carried a context — both ends agree from
+// the request whether the reply is enveloped, so plain payloads stay plain.
+
+std::vector<std::uint8_t> wrap_result(const std::vector<std::uint8_t>& telemetry,
+                                      const std::vector<std::uint8_t>& result);
+
+/// Throws support::DecodeError when the size prefix exceeds the payload —
+/// that is envelope (not telemetry) corruption, and fails the trip like any
+/// other malformed result.
+struct ResultEnvelope {
+  std::vector<std::uint8_t> telemetry;  ///< may be empty
+  std::vector<std::uint8_t> result;
+};
+ResultEnvelope unwrap_result(const std::vector<std::uint8_t>& payload);
+
+// ---------------------------------------------------------------------------
+// Clock alignment (per connection)
+// ---------------------------------------------------------------------------
+
+/// NTP-style two-sample offset estimate.  Feed every completed round trip
+/// (t0 master send, t1 worker recv, t2 worker send, t3 master recv, all on
+/// each process's own wall clock); the estimate with the smallest RTT wins —
+/// its bound on the true offset is tightest.
+class ClockOffsetEstimator {
+ public:
+  void update(double t0, double t1, double t2, double t3);
+
+  /// Seed from a one-way sample (the extended Hello): worker clock `tw`
+  /// observed at master clock `tm`, RTT unknown.  Only adopted before any
+  /// two-sided sample arrives.
+  void seed(double tm, double tw);
+
+  bool valid() const { return valid_; }
+  /// master_time ~= worker_time + offset_seconds().
+  double offset_seconds() const { return offset_; }
+  double rtt_seconds() const { return rtt_; }
+
+  /// Re-times a worker-clock timestamp onto the master's timeline.
+  double to_master(double worker_seconds) const { return worker_seconds + offset_; }
+
+ private:
+  bool valid_ = false;
+  bool seeded_ = false;
+  double offset_ = 0.0;
+  double rtt_ = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Worker-side capture
+// ---------------------------------------------------------------------------
+
+/// Captures one trip's worth of telemetry on the worker: begin() snapshots
+/// the process-global registry and stamps t1; end() diffs a fresh snapshot
+/// against the baseline, drains the tracer's completed spans, and stamps t2.
+/// Gauges are deliberately not shipped: last-write-wins values do not merge.
+class WorkerTelemetrySession {
+ public:
+  void begin(Registry& registry = registry_ref(), SpanTracer& tracer = tracer_ref());
+  TelemetryBatch end(const TraceContext& context);
+
+ private:
+  static Registry& registry_ref();
+  static SpanTracer& tracer_ref();
+
+  Registry* registry_ = nullptr;
+  SpanTracer* tracer_ = nullptr;
+  MetricsSnapshot baseline_;
+  double recv_seconds_ = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Master-side merge
+// ---------------------------------------------------------------------------
+
+/// Folds one worker batch into the master's process-global observability:
+///  * counter deltas   -> registry counter "worker.pid<PID>.<name>"
+///  * histogram deltas -> counters "...<name>.count" + gauge "...<name>.sum"
+///    (bucket replay is not possible through Histogram::observe)
+///  * spans            -> re-timed via `offset` onto `track`, clamped into
+///    [clamp_start, clamp_end] (the master's dispatch span) so they nest
+///    under it on the merged timeline even when the offset estimate is off
+///    by more than the gap.
+/// Spans are dropped silently when the tracer is disabled; counters merge
+/// regardless, so reports carry worker-tagged metrics even without a trace.
+void merge_telemetry_batch(const TelemetryBatch& batch, const ClockOffsetEstimator& offset,
+                           const std::string& track, double clamp_start, double clamp_end,
+                           Registry& registry, SpanTracer& tracer);
+
+}  // namespace mg::obs

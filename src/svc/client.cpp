@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "svc/stats.hpp"
+
 namespace mg::svc {
 
 using steady = std::chrono::steady_clock;
@@ -122,6 +124,11 @@ std::chrono::microseconds JobClient::ping() {
     throw ClientError("svc client: Pong payload mismatch");
   }
   return std::chrono::duration_cast<std::chrono::microseconds>(steady::now() - start);
+}
+
+ServiceStats JobClient::stats() {
+  return decode_service_stats(
+      request(net::FrameType::GetStats, {}, net::FrameType::StatsReport).payload);
 }
 
 JobStatusInfo JobClient::wait_terminal(std::uint64_t job_id, std::chrono::milliseconds timeout,

@@ -18,6 +18,8 @@
 
 namespace mg::svc {
 
+struct ServiceStats;
+
 class ClientError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
@@ -48,6 +50,9 @@ class JobClient {
   /// Round-trips a Ping (payload echoed in the Pong); refreshes the server's
   /// idle clock.  Returns the measured round-trip time.
   std::chrono::microseconds ping();
+
+  /// Fetches the server's live ServiceStats (GetStats -> StatsReport).
+  ServiceStats stats();
 
   /// Polls status until the job is terminal; throws ClientError on timeout
   /// or when the job vanishes.

@@ -240,6 +240,7 @@ void SolveEngine::lane_main(std::size_t lane_index) {
         if (job->state == JobState::Queued) job->state = JobState::Running;
       }
     }
+    busy_lanes_.fetch_add(1, std::memory_order_relaxed);
     if (job->cancel.load(std::memory_order_acquire)) {
       account_skipped(*job, 1);
     } else {
@@ -257,6 +258,7 @@ void SolveEngine::lane_main(std::size_t lane_index) {
         account_skipped(*job, scheduler_.drop_pending(job->id) + 1);
       }
     }
+    busy_lanes_.fetch_sub(1, std::memory_order_relaxed);
     scheduler_.task_finished(task->job);
   }
 }
@@ -330,7 +332,7 @@ void SolveEngine::execute_task(Job& job, const TaskRef& task) {
       std::atomic<bool>* cancel_flag = &job.cancel;
       net::RemoteEndpoint::RoundTrip trip = config_.remote->round_trip(
           mw::encode_work_item(item),
-          [cancel_flag] { return cancel_flag->load(std::memory_order_acquire); });
+          [cancel_flag] { return cancel_flag->load(std::memory_order_acquire); }, job.id);
       if (job.cancel.load(std::memory_order_acquire)) {
         account_skipped(job, 1);
         return;
@@ -519,6 +521,25 @@ void SolveEngine::finalize(Job& job) {
   support::log_info("svc: job ", job.id, " -> ", to_string(final_state));
 }
 
+JobStatusInfo SolveEngine::status_locked(const Job& job) {
+  JobStatusInfo info;
+  info.job_id = job.id;
+  info.known = true;
+  info.state = job.state;
+  info.priority = job.spec.priority;
+  info.weight = job.spec.weight;
+  info.terms_total = job.terms.size();
+  info.terms_done = job.terms_done;
+  info.retries = job.faults.retries;
+  info.queue_wait_seconds = job.queue_wait_seconds;
+  info.run_seconds = is_terminal(job.state) || !job.started
+                         ? job.run_seconds
+                         : seconds_between(job.started_at, steady::now());
+  info.tag = job.spec.tag;
+  info.error = job.error;
+  return info;
+}
+
 JobStatusInfo SolveEngine::status(std::uint64_t id) const {
   JobStatusInfo info;
   info.job_id = id;
@@ -530,20 +551,23 @@ JobStatusInfo SolveEngine::status(std::uint64_t id) const {
   }
   if (!job) return info;
   std::lock_guard<std::mutex> lock(job->m);
-  info.known = true;
-  info.state = job->state;
-  info.priority = job->spec.priority;
-  info.weight = job->spec.weight;
-  info.terms_total = job->terms.size();
-  info.terms_done = job->terms_done;
-  info.retries = job->faults.retries;
-  info.queue_wait_seconds = job->queue_wait_seconds;
-  info.run_seconds = is_terminal(job->state) || !job->started
-                         ? job->run_seconds
-                         : seconds_between(job->started_at, steady::now());
-  info.tag = job->spec.tag;
-  info.error = job->error;
-  return info;
+  return status_locked(*job);
+}
+
+std::vector<JobStatusInfo> SolveEngine::active_statuses() const {
+  std::vector<std::shared_ptr<Job>> jobs;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    jobs.reserve(jobs_.size());
+    for (const auto& [id, job] : jobs_) jobs.push_back(job);  // id order (map)
+  }
+  std::vector<JobStatusInfo> out;
+  for (const auto& job : jobs) {
+    std::lock_guard<std::mutex> lock(job->m);
+    if (is_terminal(job->state)) continue;
+    out.push_back(status_locked(*job));
+  }
+  return out;
 }
 
 JobResultData SolveEngine::result(std::uint64_t id) const {

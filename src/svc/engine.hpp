@@ -21,6 +21,7 @@
 //    touches another job's work.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -103,6 +104,15 @@ class SolveEngine {
   EngineCounters counters() const;
   SchedulerCounters scheduler_counters() const;
 
+  // ---- live-stats probes (GetStats; see svc/stats.hpp) ----
+  std::size_t lanes() const { return config_.lanes; }
+  /// Lanes currently executing a task (vs parked in next_task()).
+  std::size_t busy_lanes() const { return busy_lanes_.load(std::memory_order_relaxed); }
+  std::size_t running_jobs() const { return scheduler_.running_jobs(); }
+  std::size_t queued_jobs() const { return scheduler_.queued_jobs(); }
+  /// Status of every non-terminal job, in id order (the live tenant view).
+  std::vector<JobStatusInfo> active_statuses() const;
+
   /// Stops the scheduler and joins the lanes; queued/running jobs finish as
   /// Failed("engine shut down").  Idempotent; also run by the destructor.
   void shutdown();
@@ -112,6 +122,8 @@ class SolveEngine {
   struct TermResult;
 
   void lane_main(std::size_t lane_index);
+  /// Fills a status view; the job's mutex must be held.
+  static JobStatusInfo status_locked(const Job& job);
   void execute_task(Job& job, const TaskRef& task);
   void deliver(Job& job, std::size_t term_index, TermResult&& delivery);
   void account_skipped(Job& job, std::size_t n);
@@ -132,6 +144,7 @@ class SolveEngine {
   std::condition_variable terminal_cv_;
 
   std::vector<std::thread> lanes_;
+  std::atomic<std::size_t> busy_lanes_{0};
   bool down_ = false;  ///< guarded by jobs_mutex_
 };
 

@@ -9,6 +9,7 @@
 #include "obs/metrics.hpp"
 #include "support/log.hpp"
 #include "svc/job.hpp"
+#include "svc/stats.hpp"
 
 namespace mg::svc {
 
@@ -193,6 +194,9 @@ bool JobServer::serve_frame(Session& session, const net::Frame& frame) {
       return send_frame(session, FrameType::JobStatus, seq,
                         encode_job_status(engine_.cancel(id)));
     }
+    case FrameType::GetStats:
+      return send_frame(session, FrameType::StatsReport, seq,
+                        encode_service_stats(stats()));
     case FrameType::Ping: {
       server_metrics().pings.add();
       {
@@ -229,6 +233,28 @@ bool JobServer::send_frame(Session& session, net::FrameType type, std::uint64_t 
 JobServerCounters JobServer::counters() const {
   std::lock_guard<std::mutex> lock(counters_mutex_);
   return counters_;
+}
+
+ServiceStats JobServer::stats() const {
+  ServiceStats stats;
+  stats.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started_at_)
+          .count();
+  stats.lanes = engine_.lanes();
+  stats.busy_lanes = engine_.busy_lanes();
+  stats.running_jobs = engine_.running_jobs();
+  stats.queued_jobs = engine_.queued_jobs();
+  stats.terminal_jobs = engine_.terminal_jobs();
+  stats.scheduler = engine_.scheduler_counters();
+  stats.engine = engine_.counters();
+  stats.server = counters();
+  stats.tenants = engine_.active_statuses();
+  const obs::MetricsSnapshot snap = obs::registry().snapshot();
+  const auto task_it = snap.histograms.find("svc.task_seconds");
+  if (task_it != snap.histograms.end()) stats.task_seconds = task_it->second;
+  const auto job_it = snap.histograms.find("svc.job_seconds");
+  if (job_it != snap.histograms.end()) stats.job_seconds = job_it->second;
+  return stats;
 }
 
 void JobServer::shutdown() {

@@ -49,6 +49,8 @@ struct JobServerCounters {
   std::uint64_t pings = 0;
 };
 
+struct ServiceStats;
+
 class JobServer {
  public:
   /// Binds and starts serving immediately.  Throws net::SocketError when the
@@ -67,6 +69,10 @@ class JobServer {
 
   JobServerCounters counters() const;
 
+  /// Point-in-time service view (also served over the wire as GetStats ->
+  /// StatsReport).  Safe to call concurrently with everything else.
+  ServiceStats stats() const;
+
   /// Stops accepting, closes every session, shuts the engine down.
   /// Idempotent; also run by the destructor.
   void shutdown();
@@ -82,6 +88,8 @@ class JobServer {
                   const std::vector<std::uint8_t>& payload);
 
   JobServerConfig config_;
+  const std::chrono::steady_clock::time_point started_at_ =
+      std::chrono::steady_clock::now();
   SolveEngine engine_;
   net::TcpListener listener_;
   std::uint16_t port_ = 0;

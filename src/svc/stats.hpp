@@ -1,0 +1,57 @@
+// Live service stats — the GetStats/StatsReport payload and its renderings.
+//
+// One ServiceStats is a point-in-time view of the whole service: scheduler
+// depth, lane utilization, admission/engine/session ledgers, per-tenant
+// queue/running detail (every non-terminal job's status), and the task/job
+// latency histograms.  It travels the wire as the usual ByteWriter layout
+// (StatsReport frames), and renders either as JSON (machine consumers, the
+// CLI default) or as a Prometheus-style text exposition (scrapers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "svc/job.hpp"
+#include "svc/job_server.hpp"
+
+namespace mg::svc {
+
+struct ServiceStats {
+  double uptime_seconds = 0.0;      ///< server process uptime (wall clock)
+  std::uint64_t lanes = 0;          ///< fleet size
+  std::uint64_t busy_lanes = 0;     ///< lanes currently executing a task
+  std::uint64_t running_jobs = 0;   ///< jobs holding a running slot
+  std::uint64_t queued_jobs = 0;    ///< admitted jobs waiting for a slot
+  std::uint64_t terminal_jobs = 0;  ///< jobs finished since server start
+
+  SchedulerCounters scheduler;
+  EngineCounters engine;
+  JobServerCounters server;
+
+  /// Every non-terminal job, in id order (the live tenant view).
+  std::vector<JobStatusInfo> tenants;
+
+  /// Per-task and per-job latency distributions (svc.task_seconds /
+  /// svc.job_seconds from the fleet registry).
+  obs::HistogramSnapshot task_seconds;
+  obs::HistogramSnapshot job_seconds;
+};
+
+// ---- wire codec (StatsReport payload) ----
+
+std::vector<std::uint8_t> encode_service_stats(const ServiceStats& stats);
+/// Throws support::DecodeError on truncation / trailing bytes.
+ServiceStats decode_service_stats(const std::vector<std::uint8_t>& bytes);
+
+// ---- renderings ----
+
+/// Compact JSON object (scheduler/tenant/latency sections).
+std::string service_stats_json(const ServiceStats& stats);
+
+/// Prometheus text exposition (counters as `svc_*` with HELP/TYPE lines,
+/// histograms with cumulative `_bucket{le=...}` series).
+std::string service_stats_prometheus(const ServiceStats& stats);
+
+}  // namespace mg::svc

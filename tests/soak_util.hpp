@@ -1,0 +1,21 @@
+// Shared helpers for the tier-2 soak suites (fd-leak accounting).
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+
+namespace mg::tests {
+
+/// Number of open file descriptors in this process, via /proc/self/fd.
+/// Includes the directory iterator's own fd — identically on every call, so
+/// before/after comparisons are exact.
+inline std::size_t open_fd_count() {
+  std::size_t n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator("/proc/self/fd")) {
+    (void)entry;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace mg::tests

@@ -10,7 +10,6 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,21 +18,14 @@
 #include "core/remote_worker.hpp"
 #include "net/remote.hpp"
 #include "net/socket.hpp"
+#include "soak_util.hpp"
 #include "transport/seq_solver.hpp"
 
 namespace {
 
 using namespace mg;
 using namespace std::chrono_literals;
-
-std::size_t open_fd_count() {
-  std::size_t n = 0;
-  for (const auto& entry : std::filesystem::directory_iterator("/proc/self/fd")) {
-    (void)entry;
-    ++n;
-  }
-  return n;  // includes the iterator's own fd, identically on every call
-}
+using mg::tests::open_fd_count;
 
 /// The deterministic per-task transform the echo workers apply, mirrored on
 /// the master side to check results: reverse the payload and add the task

@@ -24,6 +24,7 @@
 #include "svc/job.hpp"
 #include "svc/job_server.hpp"
 #include "svc/scheduler.hpp"
+#include "svc/stats.hpp"
 #include "transport/seq_solver.hpp"
 
 namespace {
@@ -45,7 +46,7 @@ TEST(SvcFrames, NewFrameTypesRoundTripThroughTheDecoder) {
   const std::vector<net::FrameType> types = {
       net::FrameType::SubmitJob, net::FrameType::JobAccepted, net::FrameType::JobStatus,
       net::FrameType::JobResult, net::FrameType::CancelJob,   net::FrameType::Ping,
-      net::FrameType::Pong,
+      net::FrameType::Pong,      net::FrameType::GetStats,    net::FrameType::StatsReport,
   };
   for (const auto type : types) {
     const std::vector<std::uint8_t> payload = {1, 2, 3};
@@ -64,10 +65,12 @@ TEST(SvcFrames, NewFrameTypesHaveNames) {
   EXPECT_STREQ(net::to_string(net::FrameType::CancelJob), "cancel-job");
   EXPECT_STREQ(net::to_string(net::FrameType::Ping), "ping");
   EXPECT_STREQ(net::to_string(net::FrameType::Pong), "pong");
+  EXPECT_STREQ(net::to_string(net::FrameType::GetStats), "get-stats");
+  EXPECT_STREQ(net::to_string(net::FrameType::StatsReport), "stats-report");
 }
 
-TEST(SvcFrames, DecoderRejectsTypesBeyondPong) {
-  const auto bytes = net::encode_frame(static_cast<net::FrameType>(13), 1, {});
+TEST(SvcFrames, DecoderRejectsTypesBeyondStatsReport) {
+  const auto bytes = net::encode_frame(static_cast<net::FrameType>(15), 1, {});
   net::FrameDecoder decoder;
   decoder.feed(bytes.data(), bytes.size());
   EXPECT_THROW(decoder.next(), net::FrameError);
@@ -513,6 +516,152 @@ TEST(SvcServer, NonServiceFramesAreConnectionFatal) {
   EXPECT_GE(server.counters().protocol_errors, 1u);
 }
 
+// ---- live service stats -------------------------------------------------------------
+
+svc::ServiceStats sample_stats() {
+  svc::ServiceStats s;
+  s.uptime_seconds = 12.5;
+  s.lanes = 4;
+  s.busy_lanes = 2;
+  s.running_jobs = 2;
+  s.queued_jobs = 1;
+  s.terminal_jobs = 9;
+  s.scheduler.admitted = 12;
+  s.scheduler.rejected = 3;
+  s.scheduler.activated = 11;
+  s.scheduler.tasks_picked = 120;
+  s.scheduler.tasks_dropped = 4;
+  s.engine.submitted = 15;
+  s.engine.accepted = 12;
+  s.engine.completed = 9;
+  s.engine.tasks_executed = 116;
+  s.engine.task_retries = 2;
+  s.server.sessions_opened = 5;
+  s.server.frames_received = 60;
+  s.server.pings = 7;
+  svc::JobStatusInfo tenant;
+  tenant.job_id = 3;
+  tenant.known = true;
+  tenant.state = svc::JobState::Running;
+  tenant.priority = 1;
+  tenant.weight = 2.0;
+  tenant.terms_total = 8;
+  tenant.terms_done = 5;
+  tenant.retries = 1;
+  tenant.queue_wait_seconds = 0.25;
+  tenant.run_seconds = 1.5;
+  tenant.tag = "tenant-a";
+  s.tenants.push_back(tenant);
+  s.task_seconds.upper_bounds = {0.001, 0.01};
+  s.task_seconds.buckets = {5, 3, 1};
+  s.task_seconds.count = 9;
+  s.task_seconds.sum = 0.05;
+  s.job_seconds.upper_bounds = {1.0};
+  s.job_seconds.buckets = {7, 2};
+  s.job_seconds.count = 9;
+  s.job_seconds.sum = 6.5;
+  return s;
+}
+
+TEST(SvcStats, CodecRoundTripsEveryField) {
+  const svc::ServiceStats s =
+      svc::decode_service_stats(svc::encode_service_stats(sample_stats()));
+  EXPECT_DOUBLE_EQ(s.uptime_seconds, 12.5);
+  EXPECT_EQ(s.lanes, 4u);
+  EXPECT_EQ(s.busy_lanes, 2u);
+  EXPECT_EQ(s.running_jobs, 2u);
+  EXPECT_EQ(s.queued_jobs, 1u);
+  EXPECT_EQ(s.terminal_jobs, 9u);
+  EXPECT_EQ(s.scheduler.tasks_picked, 120u);
+  EXPECT_EQ(s.engine.tasks_executed, 116u);
+  EXPECT_EQ(s.server.pings, 7u);
+  ASSERT_EQ(s.tenants.size(), 1u);
+  EXPECT_EQ(s.tenants[0].job_id, 3u);
+  EXPECT_TRUE(s.tenants[0].known);
+  EXPECT_EQ(s.tenants[0].state, svc::JobState::Running);
+  EXPECT_EQ(s.tenants[0].terms_done, 5u);
+  EXPECT_EQ(s.tenants[0].tag, "tenant-a");
+  ASSERT_EQ(s.task_seconds.buckets.size(), 3u);
+  EXPECT_EQ(s.task_seconds.count, 9u);
+  EXPECT_DOUBLE_EQ(s.job_seconds.sum, 6.5);
+}
+
+TEST(SvcStats, CodecRejectsTruncationAndTrailingBytes) {
+  auto bytes = svc::encode_service_stats(sample_stats());
+  auto cut = bytes;
+  cut.pop_back();
+  EXPECT_THROW(svc::decode_service_stats(cut), support::DecodeError);
+  bytes.push_back(0);
+  EXPECT_THROW(svc::decode_service_stats(bytes), support::DecodeError);
+}
+
+TEST(SvcStats, JsonAndPrometheusRenderings) {
+  const svc::ServiceStats s = sample_stats();
+  const std::string json = svc::service_stats_json(s);
+  EXPECT_NE(json.find("\"schema\":\"svc_stats\""), std::string::npos);
+  EXPECT_NE(json.find("\"busy_lanes\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"tenants\":["), std::string::npos);
+  EXPECT_NE(json.find("\"tag\":\"tenant-a\""), std::string::npos);
+  EXPECT_NE(json.find("\"task_seconds\":{"), std::string::npos);
+
+  const std::string prom = svc::service_stats_prometheus(s);
+  EXPECT_NE(prom.find("svc_busy_lanes 2"), std::string::npos);
+  EXPECT_NE(prom.find("svc_tasks_executed 116"), std::string::npos);
+  EXPECT_NE(prom.find("svc_tenant_terms_done{job=\"3\",tag=\"tenant-a\",state=\"running\"} 5"),
+            std::string::npos);
+  // Histogram buckets are cumulative, with the implicit +Inf last.
+  EXPECT_NE(prom.find("svc_task_seconds_bucket{le=\"0.001\"} 5"), std::string::npos);
+  EXPECT_NE(prom.find("svc_task_seconds_bucket{le=\"0.01\"} 8"), std::string::npos);
+  EXPECT_NE(prom.find("svc_task_seconds_bucket{le=\"+Inf\"} 9"), std::string::npos);
+  EXPECT_NE(prom.find("svc_task_seconds_count 9"), std::string::npos);
+}
+
+TEST(SvcServer, GetStatsOverTheWireSeesTenantsAndProgress) {
+  svc::JobServerConfig config;
+  config.engine.lanes = 2;
+  svc::JobServer server(config);
+  svc::JobClient client("127.0.0.1", server.port());
+
+  // Before any job: a clean fleet view.
+  svc::ServiceStats before = client.stats();
+  EXPECT_EQ(before.lanes, 2u);
+  EXPECT_EQ(before.running_jobs, 0u);
+  EXPECT_TRUE(before.tenants.empty());
+
+  svc::JobSpec spec;
+  spec.root = 3;
+  spec.level = 5;
+  spec.le_tol = 1e-4;
+  spec.tag = "stats-tenant";
+  const svc::JobTicket ticket = client.submit(spec);
+  ASSERT_TRUE(ticket.accepted) << ticket.reason;
+
+  // While the job is live it must show up in the tenant view.
+  bool saw_tenant = false;
+  for (int i = 0; i < 200 && !saw_tenant; ++i) {
+    const svc::ServiceStats live = client.stats();
+    for (const auto& t : live.tenants) {
+      if (t.job_id == ticket.job_id) {
+        EXPECT_EQ(t.tag, "stats-tenant");
+        saw_tenant = true;
+      }
+    }
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_TRUE(saw_tenant);
+
+  client.wait_terminal(ticket.job_id, 60'000ms);
+  const svc::ServiceStats after = client.stats();
+  EXPECT_GE(after.terminal_jobs, 1u);
+  EXPECT_GE(after.engine.tasks_executed, 1u);
+  EXPECT_GE(after.task_seconds.count, 1u);
+  EXPECT_GT(after.uptime_seconds, 0.0);
+  for (const auto& t : after.tenants) EXPECT_NE(t.job_id, ticket.job_id);
+
+  client.close();
+  server.shutdown();
+}
+
 // ---- solver CLI (satellite: strict --connect/--workers validation) ------------------
 
 mg::examples::SolverCli parse(std::initializer_list<const char*> args) {
@@ -552,6 +701,17 @@ TEST(SolverCli, ConnectIsWorkerModeAndRejectsMasterFlags) {
   const auto err = parse({"--connect=:7700", "--workers=8"});
   EXPECT_NE(err.error.find("--workers"), std::string::npos);
   EXPECT_NE(err.error.find("worker mode"), std::string::npos);
+}
+
+TEST(SolverCli, TraceIsAMasterSideFlag) {
+  const auto cli = parse({"2", "3", "1e-3", "--trace=run.trace.json"});
+  ASSERT_TRUE(cli.ok) << cli.error;
+  EXPECT_EQ(cli.trace_path, "run.trace.json");
+  // Workers ship spans back over the telemetry channel; they never write a
+  // trace file of their own.
+  const auto err = parse({"--connect=:7700", "--trace=w.json"});
+  EXPECT_FALSE(err.ok);
+  EXPECT_NE(err.error.find("--trace"), std::string::npos);
 }
 
 TEST(SolverCli, RejectsZeroOrGarbageWorkerCounts) {

@@ -9,7 +9,6 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
-#include <filesystem>
 #include <map>
 #include <string>
 #include <thread>
@@ -19,6 +18,7 @@
 #include "fault/fault_plan.hpp"
 #include "net/remote.hpp"
 #include "net/socket.hpp"
+#include "soak_util.hpp"
 #include "svc/client.hpp"
 #include "svc/job_server.hpp"
 #include "transport/seq_solver.hpp"
@@ -27,15 +27,7 @@ namespace {
 
 using namespace mg;
 using namespace std::chrono_literals;
-
-std::size_t open_fd_count() {
-  std::size_t n = 0;
-  for (const auto& entry : std::filesystem::directory_iterator("/proc/self/fd")) {
-    (void)entry;
-    ++n;
-  }
-  return n;
-}
+using mg::tests::open_fd_count;
 
 std::vector<double> sequential_nodes(int root, int level, double le_tol) {
   transport::ProgramConfig config;
