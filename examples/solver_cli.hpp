@@ -42,6 +42,7 @@ struct SolverCli {
   std::string trace_path;  ///< Chrome trace_event JSON of the run's spans
   std::string fault_spec;
   std::string net_fault_spec;
+  std::string churn_spec;  ///< elastic-fleet churn schedule (fleet::parse_churn_spec)
   std::string backend = "threads";
 
   // TCP master side.
@@ -108,6 +109,8 @@ inline SolverCli parse_solver_cli(int argc, const char* const* argv) {
       cli.fault_spec = v;
     } else if (starts_with(arg, "--net-faults=", 13, v)) {
       cli.net_fault_spec = v;
+    } else if (starts_with(arg, "--churn=", 8, v)) {
+      cli.churn_spec = v;
     } else if (starts_with(arg, "--backend=", 10, v)) {
       cli.backend = v;
       backend_given = true;
@@ -164,6 +167,11 @@ inline SolverCli parse_solver_cli(int argc, const char* const* argv) {
     }
     if (!cli.fault_spec.empty()) {
       return fail("--connect is worker mode; --faults is master-side");
+    }
+    if (!cli.churn_spec.empty()) {
+      // Churn is a fleet-level schedule driven by the master; a lone worker
+      // has no fleet to churn.
+      return fail("--connect is worker mode; --churn is master-side");
     }
     if (!cli.report_path.empty()) {
       return fail("--connect is worker mode; --report is master-side");

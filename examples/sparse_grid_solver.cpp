@@ -27,6 +27,19 @@
 // injection, retry, respawn and abandonment.  The solve must still be
 // bit-identical to the sequential program.
 //
+// --churn=SPEC (e.g. --churn=seed=7,joins=2,leaves=1,crashes=1,spread=0.5)
+// replays a seeded spot-instance schedule against the worker fleet while the
+// concurrent solve runs.  On the threads backend the events drive the
+// fault-tolerant pool (Leave re-leases the victim's grid immediately, Crash
+// routes through the normal retry path); on the tcp backend the endpoint
+// runs in elastic mode — late-join worker processes are forked per Join
+// event and accepted mid-run, Leave/Crash events close the busiest channel,
+// idle channels steal leased work, and units past the soft deadline are
+// speculatively re-issued with first-result-wins dedup.  Either way the
+// solve must still be bit-identical to the sequential program, and the
+// report gains a "fleet" section (joins/leaves/crashes/steals/releases/
+// duplicates).
+//
 // --backend=tcp runs the concurrent solve over the network substrate: the
 // master binds a TCP listener (--listen=HOST:PORT, default loopback
 // ephemeral), forks --workers=N subsolve worker processes (default 4), and
@@ -36,17 +49,21 @@
 // net_delay_ms, plus seed) injects seeded frame-level faults into the
 // master's send path; the fault-tolerant protocol retries through them and
 // the solve must *still* be bit-identical to the sequential program.
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/concurrent_solver.hpp"
 #include "core/remote_worker.hpp"
 #include "fault/fault_plan.hpp"
+#include "fleet/churn.hpp"
 #include "net/remote.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
@@ -84,7 +101,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", cli.error.c_str());
     std::fprintf(stderr,
                  "usage: sparse_grid_solver [root] [level] [le_tol] [--report=PATH]\n"
-                 "         [--trace=PATH] [--faults=SPEC] [--backend=threads|tcp]\n"
+                 "         [--trace=PATH] [--faults=SPEC] [--churn=SPEC]\n"
+                 "         [--backend=threads|tcp]\n"
                  "         [--workers=N] [--listen=HOST:PORT] [--net-faults=SPEC]\n"
                  "       sparse_grid_solver --connect=HOST:PORT   (worker mode)\n");
     return 2;
@@ -104,6 +122,18 @@ int main(int argc, char** argv) {
   }
 
   const bool tcp = cli.backend == "tcp";
+
+  fleet::ChurnPlanConfig churn_cfg;
+  if (!cli.churn_spec.empty()) {
+    try {
+      churn_cfg = fleet::parse_churn_spec(cli.churn_spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad --churn spec: %s\n", e.what());
+      return 2;
+    }
+  }
+  const bool churn_on = churn_cfg.any();
+  const fleet::ChurnPlan churn_plan(churn_cfg);
 
   // Enable span recording up front so both solves (and, over tcp, the merged
   // worker telemetry) land in one trace.  Purely an observer: the solve's
@@ -126,6 +156,22 @@ int main(int argc, char** argv) {
       listener.close();
       return mw::run_subsolve_worker(host, port);
     });
+    // Churn joins: fork one late worker per Join event.  Each child sleeps
+    // until its scheduled join time before connecting, so the elastic
+    // endpoint accepts it into the lease set mid-run.
+    if (churn_on) {
+      for (const auto& ev : churn_plan.events()) {
+        if (ev.kind != fleet::ChurnEventKind::Join) continue;
+        const double at = ev.at_seconds;
+        const std::vector<int> late =
+            net::fork_worker_processes(1, [&listener, host, port, at] {
+              listener.close();
+              std::this_thread::sleep_for(std::chrono::duration<double>(at));
+              return mw::run_subsolve_worker(host, port);
+            });
+        worker_pids.insert(worker_pids.end(), late.begin(), late.end());
+      }
+    }
   }
 
   std::printf("sparse-grid transport solve: root=%d level=%d le_tol=%g\n", config.root,
@@ -175,16 +221,51 @@ int main(int argc, char** argv) {
     // Remote workers need the fault-tolerant pool: a dead TCP peer surfaces
     // as crash_worker, which the legacy rendezvous cannot digest.
     if (!options.retry) options.retry = fault::RetryPolicy{};
+    if (churn_on) {
+      ep_config.elastic.enabled = true;
+      ep_config.elastic.lease_depth = 2;
+      ep_config.elastic.soft_deadline = std::chrono::milliseconds(1500);
+      std::printf("\nchurn on (tcp elastic): seed=%llu joins=%zu leaves=%zu crashes=%zu "
+                  "over [%g, %g)s\n",
+                  static_cast<unsigned long long>(churn_cfg.seed), churn_cfg.joins,
+                  churn_cfg.leaves, churn_cfg.crashes, churn_cfg.start_seconds,
+                  churn_cfg.start_seconds + churn_cfg.spread_seconds);
+    }
     endpoint = std::make_unique<net::RemoteEndpoint>(std::move(listener), ep_config);
-    const std::size_t expected = worker_pids.empty() ? 1 : worker_pids.size();
+    // The barrier waits for the prompt workers only; churn joiners connect
+    // later, into a running solve.
+    const std::size_t expected = worker_pids.empty() ? 1 : cli.tcp_workers;
     if (!endpoint->wait_for_workers(expected, std::chrono::milliseconds(15'000))) {
       std::fprintf(stderr, "timed out waiting for %zu tcp worker(s)\n", expected);
       return 3;
     }
     options.remote = endpoint.get();
+  } else if (churn_on) {
+    options.churn = churn_cfg;
+    std::printf("\nchurn on (threads pool): seed=%llu joins=%zu leaves=%zu crashes=%zu "
+                "over [%g, %g)s\n",
+                static_cast<unsigned long long>(churn_cfg.seed), churn_cfg.joins,
+                churn_cfg.leaves, churn_cfg.crashes, churn_cfg.start_seconds,
+                churn_cfg.start_seconds + churn_cfg.spread_seconds);
+  }
+
+  // The spot-instance adversary: a thread replaying the plan's Leave/Crash
+  // events against the elastic endpoint while the solve runs.
+  std::atomic<bool> churn_stop{false};
+  std::thread churn_thread;
+  if (endpoint && churn_on) {
+    net::RemoteEndpoint* ep = endpoint.get();
+    const fleet::ChurnPlan* plan = &churn_plan;
+    churn_thread = std::thread([ep, plan, &churn_stop] {
+      net::drive_churn(*ep, *plan, churn_stop);
+    });
   }
 
   const mw::ConcurrentResult conc = mw::solve_concurrent(config, options);
+  if (churn_thread.joinable()) {
+    churn_stop.store(true, std::memory_order_release);
+    churn_thread.join();
+  }
   std::printf("\nconcurrent: %zu workers in %zu pool(s), %.3f s wall\n",
               conc.protocol.workers_created, conc.protocol.pools_created,
               conc.solve.total_seconds);
@@ -195,6 +276,25 @@ int main(int argc, char** argv) {
                 f.crashes_injected, f.hangs_injected, f.corruptions_injected, f.crash_events,
                 f.timeouts, f.retries, f.respawns, f.abandoned,
                 f.degraded ? " (pool degraded)" : "");
+  }
+
+  // One fleet ledger across both substrates: the threads pool accounts in
+  // the protocol stats, the tcp endpoint in its own counters.
+  fleet::FleetCounters fleet = conc.protocol.fleet;
+  if (endpoint) {
+    const net::RemoteCounters nc = endpoint->counters();
+    fleet.joins += nc.fleet_joins;
+    fleet.leaves += nc.fleet_leaves;
+    fleet.crashes += nc.fleet_crashes;
+    fleet.steals += nc.fleet_steals;
+    fleet.releases += nc.fleet_releases;
+    fleet.duplicates += nc.fleet_duplicates;
+  }
+  if (fleet.any()) {
+    std::printf("fleet: %zu joins, %zu leaves, %zu crashes, %zu steals, %zu releases, "
+                "%zu duplicates discarded\n",
+                fleet.joins, fleet.leaves, fleet.crashes, fleet.steals, fleet.releases,
+                fleet.duplicates);
   }
 
   if (endpoint) {
@@ -255,6 +355,10 @@ int main(int argc, char** argv) {
     report.derived().end_object();
     if (conc.protocol.faults.any()) {
       fault::fault_counters_to_json(report.faults(), conc.protocol.faults);
+    }
+    if (fleet.any()) {
+      report.derived().key("fleet");
+      fleet::fleet_counters_to_json(report.derived(), fleet);
     }
     report.derived().kv("max_diff_concurrent_vs_sequential", diff);
     report.derived().kv("bit_exact", diff == 0.0);

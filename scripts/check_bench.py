@@ -25,6 +25,45 @@ def fail(path, msg):
     return 1
 
 
+FLEET_KEYS = ("joins", "leaves", "crashes", "steals", "releases", "duplicates")
+
+
+def check_churn_report(path, where, report):
+    """fig1_churn entries carry a machines-vs-time trajectory and fleet
+    counters; both are committed artifacts, so their shape is part of the
+    schema (times/counts must be equal-length non-empty step-series arrays)."""
+    rc = 0
+    derived = report.get("derived")
+    if not isinstance(derived, dict):
+        return fail(path, f"{where}.report.derived must be an object")
+    series = derived.get("machines_vs_time")
+    if not isinstance(series, dict):
+        return fail(path, f"{where}.report.derived.machines_vs_time must be an object")
+    times = series.get("times")
+    counts = series.get("counts")
+    if not isinstance(times, list) or not times:
+        rc |= fail(path, f"{where}...machines_vs_time.times must be a non-empty array")
+    if not isinstance(counts, list) or not counts:
+        rc |= fail(path, f"{where}...machines_vs_time.counts must be a non-empty array")
+    if isinstance(times, list) and isinstance(counts, list) and len(times) != len(counts):
+        rc |= fail(path, f"{where}...machines_vs_time times/counts length mismatch "
+                         f"({len(times)} vs {len(counts)})")
+    if isinstance(times, list) and times != sorted(times):
+        rc |= fail(path, f"{where}...machines_vs_time.times must be ascending")
+    if not isinstance(series.get("end_time"), (int, float)):
+        rc |= fail(path, f"{where}...machines_vs_time.end_time must be a number")
+    fleet = derived.get("fleet")
+    if not isinstance(fleet, dict):
+        rc |= fail(path, f"{where}.report.derived.fleet must be an object")
+    else:
+        for key in FLEET_KEYS:
+            value = fleet.get(key)
+            if not isinstance(value, int) or value < 0:
+                rc |= fail(path, f"{where}.report.derived.fleet.{key} must be a "
+                                 f"non-negative integer")
+    return rc
+
+
 def check_file(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -57,6 +96,8 @@ def check_file(path):
         report = entry.get("report")
         if not isinstance(report, dict) or not report:
             rc |= fail(path, f"{where}.report must be a non-empty object")
+        elif report.get("tool") == "fig1_churn":
+            rc |= check_churn_report(path, where, report)
     if rc == 0:
         labels = ", ".join(e["label"] for e in entries)
         print(f"{path}: ok ({len(entries)} entries: {labels})")

@@ -1,7 +1,10 @@
 #include "cluster/cluster_sim.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <deque>
 #include <map>
+#include <numeric>
 #include <queue>
 
 #include "grid/combination.hpp"
@@ -352,6 +355,327 @@ SimRunResult simulate_run(int root, int level, double tol, const CostModel& cost
   metrics.workers.add(result.workers.size());
   metrics.tasks_spawned.add(result.tasks_spawned);
   metrics.network_bytes.add(result.network_bytes);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Elastic fleet under churn
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Hashed per-(term, attempt) timing noise — a pure function of the seed, so
+/// churn-induced reordering of dispatches cannot perturb any unit's duration.
+double churn_noise(std::uint64_t seed, std::size_t term, std::size_t attempt, double amp) {
+  support::SplitMix64 sm(seed ^ (static_cast<std::uint64_t>(term) + 1) * 0x9e3779b97f4a7c15ULL ^
+                         (static_cast<std::uint64_t>(attempt) + 1) * 0xbf58476d1ce4e5b9ULL);
+  const double u = static_cast<double>(sm.next() >> 11) * (1.0 / 9007199254740992.0);
+  return 1.0 + amp * u;
+}
+
+struct ElasticHost {
+  std::string name;
+  double mhz = 0;
+  bool active = false;
+  bool busy = false;
+  std::size_t current = 0;  ///< term in flight (valid while busy)
+  double started = 0;
+  std::uint64_t gen = 0;  ///< bumped when a lease is cancelled; voids its completion
+  std::deque<std::size_t> queue;  ///< leased to this host, not yet started
+
+  std::size_t load() const { return (busy ? 1u : 0u) + queue.size(); }
+};
+
+enum class ChurnEvKind { Complete, Churn, Release };
+
+struct ChurnEv {
+  double time = 0;
+  std::uint64_t seq = 0;  ///< insertion order — the deterministic tie-break
+  ChurnEvKind kind = ChurnEvKind::Complete;
+  std::size_t host = 0;       ///< Complete: the computing host
+  std::uint64_t gen = 0;      ///< Complete: host generation at dispatch
+  std::size_t churn_idx = 0;  ///< Churn: index into the plan's event list
+  std::size_t term = 0;       ///< Complete / Release
+  bool dispatched = false;    ///< Release: the unit was in flight (a true re-lease)
+};
+
+struct ChurnEvLater {
+  bool operator()(const ChurnEv& a, const ChurnEv& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+ChurnSimResult simulate_churn_run(int root, int level, double tol, const CostModel& cost,
+                                  const SimConfig& config, const fleet::ChurnPlanConfig& churn) {
+  MG_REQUIRE(level >= 0);
+  MG_REQUIRE(config.cluster.hosts.size() >= 2);
+  const OverheadModel& oh = config.overhead;
+  const fleet::ChurnPlan plan(churn);
+  const fault::RetryPolicy& retry = config.retry;
+  const double policy_deadline_s = std::chrono::duration<double>(retry.task_deadline).count();
+
+  const auto terms = grid::combination_terms(root, level);
+  ChurnSimResult result;
+  result.terms_total = terms.size();
+
+  // Initial fleet: the cluster's worker hosts.  The start-up machine hosts
+  // the master and stays out of the lease set.
+  std::vector<ElasticHost> hosts;
+  hosts.reserve(config.cluster.hosts.size() - 1 + churn.joins);
+  for (std::size_t i = 1; i < config.cluster.hosts.size(); ++i) {
+    ElasticHost h;
+    h.name = config.cluster.hosts[i].name;
+    h.mhz = config.cluster.hosts[i].mhz;
+    h.active = true;
+    hosts.push_back(std::move(h));
+  }
+  std::vector<trace::MachineEvent> machine_events;
+  machine_events.reserve(hosts.size() + plan.events().size());
+  for (std::size_t i = 0; i < hosts.size(); ++i) machine_events.push_back({0.0, +1});
+
+  // Lease the terms heaviest-first, round-robin across the initial fleet.
+  std::vector<std::size_t> order(terms.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&terms](std::size_t a, std::size_t b) {
+    return transport::subsolve_payload_bytes(terms[a].grid) >
+           transport::subsolve_payload_bytes(terms[b].grid);
+  });
+  for (std::size_t j = 0; j < order.size(); ++j) hosts[j % hosts.size()].queue.push_back(order[j]);
+
+  std::vector<bool> done(terms.size(), false);
+  std::vector<bool> speculated(terms.size(), false);
+  std::vector<std::size_t> attempts(terms.size(), 0);
+  std::size_t remaining = terms.size();
+
+  std::priority_queue<ChurnEv, std::vector<ChurnEv>, ChurnEvLater> events;
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < plan.events().size(); ++i) {
+    ChurnEv ev;
+    ev.time = plan.events()[i].at_seconds;
+    ev.seq = seq++;
+    ev.kind = ChurnEvKind::Churn;
+    ev.churn_idx = i;
+    events.push(ev);
+  }
+
+  auto expected_compute = [&](std::size_t term, double mhz) {
+    return cost.subsolve_seconds(terms[term].grid, tol, mhz);
+  };
+  auto soft_deadline = [&](std::size_t term, double mhz) {
+    return std::max(policy_deadline_s, retry.deadline_cost_factor * expected_compute(term, mhz));
+  };
+
+  auto start_unit = [&](std::size_t hi, std::size_t term, double now) {
+    ElasticHost& h = hosts[hi];
+    h.busy = true;
+    h.current = term;
+    h.started = now;
+    const std::size_t attempt = ++attempts[term];
+    const std::size_t payload = transport::subsolve_payload_bytes(terms[term].grid);
+    const double xfer = config.network.transfer_seconds(payload);
+    const double dur = oh.reuse_task_s + 2.0 * xfer +
+                       expected_compute(term, h.mhz) *
+                           churn_noise(config.seed, term, attempt, config.noise_amplitude);
+    ChurnEv ev;
+    ev.time = now + dur;
+    ev.seq = seq++;
+    ev.kind = ChurnEvKind::Complete;
+    ev.host = hi;
+    ev.gen = h.gen;
+    ev.term = term;
+    events.push(ev);
+  };
+
+  auto least_loaded = [&]() -> std::size_t {
+    std::size_t best = hosts.size();
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      if (!hosts[i].active) continue;
+      if (best == hosts.size() || hosts[i].load() < hosts[best].load()) best = i;
+    }
+    return best;
+  };
+
+  // One scheduling sweep: starts queued units on idle hosts, lets an idle
+  // empty-queue host steal from the deepest queue, and — when nothing is
+  // left to steal — speculatively re-issues the most overdue in-flight unit.
+  // One placement per pass, repeated until quiescent; all selections scan in
+  // index order, so the schedule is deterministic.
+  auto kick = [&](double now) {
+    if (remaining == 0) return;
+    for (;;) {
+      std::size_t idle = hosts.size();
+      for (std::size_t i = 0; i < hosts.size(); ++i) {
+        if (hosts[i].active && !hosts[i].busy) {
+          idle = i;
+          break;
+        }
+      }
+      if (idle == hosts.size()) return;
+      if (!hosts[idle].queue.empty()) {
+        const std::size_t term = hosts[idle].queue.front();
+        hosts[idle].queue.pop_front();
+        if (done[term]) continue;  // finished elsewhere while queued
+        start_unit(idle, term, now);
+        continue;
+      }
+      std::size_t donor = hosts.size();
+      for (std::size_t i = 0; i < hosts.size(); ++i) {
+        if (!hosts[i].active || hosts[i].queue.empty()) continue;
+        if (donor == hosts.size() || hosts[i].queue.size() > hosts[donor].queue.size()) donor = i;
+      }
+      if (donor != hosts.size()) {
+        const std::size_t term = hosts[donor].queue.front();
+        hosts[donor].queue.pop_front();
+        if (done[term]) continue;
+        result.fleet.steals += 1;
+        start_unit(idle, term, now);
+        continue;
+      }
+      std::size_t overdue = hosts.size();
+      double overdue_by = 0;
+      for (std::size_t i = 0; i < hosts.size(); ++i) {
+        const ElasticHost& h = hosts[i];
+        if (!h.active || !h.busy || speculated[h.current] || done[h.current]) continue;
+        const double by = (now - h.started) - soft_deadline(h.current, h.mhz);
+        if (by >= 0 && (overdue == hosts.size() || by > overdue_by)) {
+          overdue = i;
+          overdue_by = by;
+        }
+      }
+      if (overdue == hosts.size()) return;
+      const std::size_t term = hosts[overdue].current;
+      speculated[term] = true;
+      result.fleet.releases += 1;
+      start_unit(idle, term, now);
+    }
+  };
+  kick(0.0);
+
+  double last_result = 0.0;
+  std::size_t joined = 0;
+  while (remaining > 0 && !events.empty()) {
+    const ChurnEv ev = events.top();
+    events.pop();
+    const double now = ev.time;
+    switch (ev.kind) {
+      case ChurnEvKind::Complete: {
+        ElasticHost& h = hosts[ev.host];
+        if (!h.active || h.gen != ev.gen || !h.busy) break;  // lease was cancelled
+        h.busy = false;
+        if (done[ev.term]) {
+          result.fleet.duplicates += 1;  // speculative loser: discarded
+        } else {
+          done[ev.term] = true;
+          result.completion_order.push_back(ev.term);
+          remaining -= 1;
+          last_result = now;
+        }
+        kick(now);
+        break;
+      }
+      case ChurnEvKind::Churn: {
+        const fleet::ChurnEvent& ce = plan.events()[ev.churn_idx];
+        if (ce.kind == fleet::ChurnEventKind::Join) {
+          ElasticHost h;
+          h.name = "elastic-" + std::to_string(++joined);
+          // Joiners clone the worker speeds round-robin, so the elastic
+          // fleet stays as heterogeneous as the cluster it extends.
+          const std::size_t base = 1 + (joined - 1) % (config.cluster.hosts.size() - 1);
+          h.mhz = config.cluster.hosts[base].mhz;
+          h.active = true;
+          hosts.push_back(std::move(h));
+          machine_events.push_back({now, +1});
+          result.fleet.joins += 1;
+          kick(now);  // the joiner steals (or speculates) immediately
+          break;
+        }
+        // Leave / Crash: take down the most-loaded host — but never the
+        // last one, or the remaining leases would strand.
+        std::size_t active_count = 0;
+        for (const auto& h : hosts) active_count += h.active ? 1 : 0;
+        if (active_count <= 1) break;
+        std::size_t victim = hosts.size();
+        for (std::size_t i = 0; i < hosts.size(); ++i) {
+          if (!hosts[i].active) continue;
+          if (victim == hosts.size() || hosts[i].load() > hosts[victim].load()) victim = i;
+        }
+        ElasticHost& v = hosts[victim];
+        const bool graceful = ce.kind == fleet::ChurnEventKind::Leave;
+        // A graceful leaver hands its leases back at once; a crash is
+        // silent, so the master only learns of the loss when the in-flight
+        // unit's deadline expires.
+        double relief = now;
+        if (!graceful && v.busy) {
+          relief = std::max(now, v.started + soft_deadline(v.current, v.mhz));
+        }
+        v.active = false;
+        v.gen += 1;  // void the in-flight completion
+        machine_events.push_back({now, -1});
+        result.fleet.leaves += graceful ? 1 : 0;
+        result.fleet.crashes += graceful ? 0 : 1;
+        if (v.busy) {
+          v.busy = false;
+          ChurnEv rel;
+          rel.time = relief;
+          rel.seq = seq++;
+          rel.kind = ChurnEvKind::Release;
+          rel.term = v.current;
+          rel.dispatched = true;
+          events.push(rel);
+        }
+        while (!v.queue.empty()) {
+          ChurnEv rel;
+          rel.time = relief;
+          rel.seq = seq++;
+          rel.kind = ChurnEvKind::Release;
+          rel.term = v.queue.front();
+          events.push(rel);
+          v.queue.pop_front();
+        }
+        kick(now);
+        break;
+      }
+      case ChurnEvKind::Release: {
+        if (done[ev.term]) break;
+        if (ev.dispatched) result.fleet.releases += 1;
+        const std::size_t target = least_loaded();
+        MG_ASSERT(target != hosts.size());  // the last host is never taken down
+        hosts[target].queue.push_front(ev.term);
+        kick(now);
+        break;
+      }
+    }
+  }
+  MG_ASSERT(remaining == 0);
+
+  // Drain still-in-flight speculative copies: their results would arrive
+  // after the winner and be discarded, which is exactly what the duplicate
+  // counter records.
+  while (!events.empty()) {
+    const ChurnEv ev = events.top();
+    events.pop();
+    if (ev.kind != ChurnEvKind::Complete) continue;
+    const ElasticHost& h = hosts[ev.host];
+    if (!h.active || h.gen != ev.gen || !h.busy) continue;
+    if (done[ev.term]) result.fleet.duplicates += 1;
+  }
+
+  const double startup_mhz = config.cluster.startup().mhz;
+  const double collect =
+      last_result + oh.result_handling_s * static_cast<double>(terms.size());
+  result.concurrent_seconds = oh.startup_s + cost.init_seconds(startup_mhz) + collect +
+                              cost.prolongation_seconds(root, level, startup_mhz);
+  result.machines = trace::build_ebb_flow(std::move(machine_events), collect);
+  result.weighted_machines = result.machines.weighted_average();
+  result.peak_machines = result.machines.peak();
+
+  SimMetrics& metrics = sim_metrics();
+  metrics.runs.add();
+  metrics.workers.add(result.completion_order.size());
+  fleet::add_fleet_metrics(result.fleet);
   return result;
 }
 

@@ -28,6 +28,7 @@
 #include "cluster/host.hpp"
 #include "cluster/network.hpp"
 #include "fault/fault_plan.hpp"
+#include "fleet/churn.hpp"
 #include "grid/grid2d.hpp"
 #include "obs/span.hpp"
 #include "trace/ebb_flow.hpp"
@@ -129,6 +130,37 @@ struct TableRow {
 /// Simulates one run (deterministic in `seed`).
 SimRunResult simulate_run(int root, int level, double tol, const CostModel& cost,
                           const SimConfig& config, std::uint64_t seed);
+
+/// Result of one elastic-fleet run under a churn plan (simulate_churn_run).
+struct ChurnSimResult {
+  double concurrent_seconds = 0;   ///< virtual time to the last first result
+  trace::EbbFlowSeries machines;   ///< fleet size vs time under churn (fig1)
+  double weighted_machines = 0;
+  int peak_machines = 0;
+  std::size_t terms_total = 0;
+  /// Term indices in first-completion order.  Every term appears exactly
+  /// once no matter how much churn / stealing / speculation occurred — the
+  /// simulator's analogue of the bit-identity invariant (the sim carries no
+  /// solution payloads, so exactly-once completion *is* the result
+  /// contract).
+  std::vector<std::size_t> completion_order;
+  fleet::FleetCounters fleet;
+};
+
+/// Elastic-fleet variant of the simulator: the work units are leased across
+/// per-host queues, hosts join / leave / crash in virtual time per the
+/// seeded churn plan, an idle host steals from the most-loaded queue, and a
+/// unit past its soft deadline (RetryPolicy::deadline_cost_factor x the
+/// expected compute, floored by task_deadline) is speculatively re-issued to
+/// an idle host with first-completion-wins dedup.  A graceful Leave
+/// re-leases the victim's units immediately; a Crash is silent and its units
+/// re-lease only once the deadline detects the loss.  Coarser than
+/// simulate_run (no master-link or spawner contention — the fleet schedule
+/// is the object of study) but driven by the same cost model.  Deterministic
+/// in (config.seed, churn): timing noise is hashed per (term, attempt), so
+/// event ordering cannot perturb it.
+ChurnSimResult simulate_churn_run(int root, int level, double tol, const CostModel& cost,
+                                  const SimConfig& config, const fleet::ChurnPlanConfig& churn);
 
 /// Averages `config.runs` runs into one Table-1 row (su = mean st / mean ct).
 TableRow simulate_table_row(int root, int level, double tol, const CostModel& cost,

@@ -7,6 +7,7 @@
 
 #include "core/marshal.hpp"
 #include "core/master.hpp"
+#include "obs/metrics.hpp"
 #include "core/remote_worker.hpp"
 #include "core/worker.hpp"
 #include "support/check.hpp"
@@ -81,7 +82,13 @@ void run_pool(MasterApi& api, const transport::ProgramConfig& program,
     // the coordinator is inside Create_Worker_Pool and every worker raises
     // death_worker even when it crashes — before the error propagates.
     try {
-      for (std::size_t k = 0; k < count; ++k) {
+      // Collect until every term of this pool has landed — counted by
+      // *distinct* index, not by unit.  Under churn a worker can be
+      // victimised between sending its result and its death event being
+      // processed; the respawned incarnation then re-delivers the same
+      // index, and a unit-counted loop would stop one real result short.
+      // First result wins; stragglers are discarded and never double-count.
+      for (std::size_t collected = 0; collected < count;) {
         const iwim::Unit unit = api.collect_result();
         if (unit.is<WorkAbandoned>()) {
           // The fault-tolerant pool gave up on this slot (attempt cap or
@@ -94,11 +101,13 @@ void run_pool(MasterApi& api, const transport::ProgramConfig& program,
           MG_ASSERT(ab.pool_slot < order.size());
           const std::size_t idx = order[ab.pool_slot];
           MG_ASSERT(idx < terms.size());
+          if (data.solutions[idx].has_value()) continue;  // delivered, then churned
           support::Stopwatch local;
           transport::SubsolveResult r = transport::subsolve(terms[idx].grid, kernel);
           data.store(idx, std::move(r.solution));
           records[idx] = {terms[idx].grid, terms[idx].coefficient, r.stats,
                           local.elapsed_seconds()};
+          ++collected;
           api.context().trace("abandoned slot " + std::to_string(ab.pool_slot) +
                                   " recomputed locally",
                               "concurrent_solver.cpp", __LINE__);
@@ -109,11 +118,19 @@ void run_pool(MasterApi& api, const transport::ProgramConfig& program,
         }
         const auto& r = unit.as<ResultItem>();
         MG_ASSERT(r.index < terms.size());
+        if (data.solutions[r.index].has_value()) {
+          obs::registry().counter("fleet.duplicates").add();
+          api.context().trace("duplicate result for term " + std::to_string(r.index) +
+                                  " discarded (first result wins)",
+                              "concurrent_solver.cpp", __LINE__);
+          continue;
+        }
         grid::Field field(terms[r.index].grid);
         field.data() = r.node_data;
         data.store(r.index, std::move(field));
         records[r.index] = {terms[r.index].grid, terms[r.index].coefficient, r.stats,
                             r.elapsed_seconds};
+        ++collected;
       }
     } catch (...) {
       api.rendezvous();
@@ -238,12 +255,22 @@ ConcurrentResult solve_concurrent(const transport::ProgramConfig& program,
   RunOptions run_options;
   run_options.retry = options.retry;
   run_options.overall_deadline = options.overall_deadline;
+  run_options.churn = options.churn;
+  if (options.churn && options.churn->any() && !run_options.retry) {
+    // Churn rides on the fault-tolerant pool's crash/respawn machinery: a
+    // worker taken away mid-unit must be re-leased, so default to a generous
+    // retry policy rather than stranding its grid.
+    fault::RetryPolicy policy;
+    policy.max_attempts = 1 + options.churn->leaves + options.churn->crashes;
+    policy.backoff_initial = std::chrono::milliseconds(5);
+    run_options.retry = policy;
+  }
   WorkerFactory factory;
   std::shared_ptr<InjectionStats> injections;
   if (options.remote != nullptr) {
     MG_REQUIRE(options.data_path == DataPath::ThroughMaster);
-    factory = make_remote_worker_factory(*options.remote, options.retry.has_value());
-  } else if (options.retry) {
+    factory = make_remote_worker_factory(*options.remote, run_options.retry.has_value());
+  } else if (run_options.retry) {
     auto plan = options.faults.any()
                     ? std::make_shared<const fault::FaultPlan>(options.faults)
                     : nullptr;

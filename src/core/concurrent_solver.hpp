@@ -93,6 +93,10 @@ struct ConcurrentOptions {
   /// Overall wall-clock deadline for the whole run; 0 = none.  On expiry the
   /// run unwinds with ProtocolStats.timed_out instead of hanging.
   std::chrono::milliseconds overall_deadline{0};
+  /// Seeded spot-instance churn (join/leave/crash events) replayed against
+  /// the pool; engages the fault-tolerant protocol (a default RetryPolicy is
+  /// supplied when `retry` is unset).  Results stay bit-identical.
+  std::optional<fleet::ChurnPlanConfig> churn;
   /// Third substrate: when set, pool workers are remote proxies that marshal
   /// each work unit over this TCP endpoint to a worker process instead of
   /// computing in-thread (ThroughMaster only).  Failed round trips surface

@@ -104,7 +104,8 @@ bool resolved(const Slot& s) {
 /// extra BK stream, so it holds a copy of every work unit in creation order.
 PoolStats create_worker_pool_ft(iwim::ProcessContext& coordinator, iwim::Process& master,
                                 const WorkerFactory& factory, std::size_t& worker_counter,
-                                const fault::RetryPolicy& retry) {
+                                const fault::RetryPolicy& retry,
+                                const fleet::ChurnPlan* churn) {
   iwim::Runtime& runtime = coordinator.runtime();
   PoolStats stats;
   FaultMetrics& fm = fault_metrics();
@@ -215,7 +216,55 @@ PoolStats create_worker_pool_ft(iwim::ProcessContext& coordinator, iwim::Process
                       "protocol.cpp", __LINE__);
   };
 
-  // Next timer to service: the earliest live deadline or due respawn.
+  // Spot-instance churn: the seeded plan's Leave/Crash events pick a running
+  // slot, kill its incarnation, and route the lost unit through the normal
+  // retry machinery — a graceful Leave re-leases immediately (no backoff),
+  // a Crash pays the crash-detection backoff.  Joins are recorded: the
+  // threads pool cannot grow past the master's create_worker requests, so
+  // respawned incarnations are this substrate's joiners.
+  const Clock::time_point churn_epoch = Clock::now();
+  std::size_t churn_next = 0;
+
+  auto churn_due_at = [&](std::size_t i) {
+    return churn_epoch + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(churn->events()[i].at_seconds));
+  };
+
+  auto apply_churn = [&](const fleet::ChurnEvent& event) {
+    if (event.kind == fleet::ChurnEventKind::Join) {
+      stats.fleet.joins += 1;
+      coordinator.trace("churn: join recorded", "protocol.cpp", __LINE__);
+      return;
+    }
+    // Deterministic victim: the lowest-index running slot (each slot holds
+    // exactly one unit, so "most-loaded" is a tie broken by creation order).
+    std::size_t idx = slots.size();
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].state == Slot::State::Running) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == slots.size()) return;  // nobody left to take away
+    const bool graceful = event.kind == fleet::ChurnEventKind::Leave;
+    if (graceful) {
+      stats.fleet.leaves += 1;
+    } else {
+      stats.fleet.crashes += 1;
+    }
+    coordinator.trace("churn: slot " + std::to_string(idx) +
+                          (graceful ? " worker left" : " worker crashed"),
+                      "protocol.cpp", __LINE__);
+    slots[idx].worker->kill();
+    fail_slot(idx, /*timed_out=*/false);
+    if (slots[idx].state == Slot::State::AwaitingRespawn) {
+      stats.fleet.releases += 1;
+      if (graceful) slots[idx].respawn_due = Clock::now();  // re-lease at once
+    }
+  };
+
+  // Next timer to service: the earliest live deadline, due respawn, or
+  // scheduled churn event.
   auto next_wake = [&]() -> std::optional<Clock::time_point> {
     std::optional<Clock::time_point> wake;
     for (const Slot& s : slots) {
@@ -225,11 +274,21 @@ PoolStats create_worker_pool_ft(iwim::ProcessContext& coordinator, iwim::Process
         if (!wake || s.respawn_due < *wake) wake = s.respawn_due;
       }
     }
+    if (churn != nullptr && churn_next < churn->events().size()) {
+      const auto due = churn_due_at(churn_next);
+      if (!wake || due < *wake) wake = due;
+    }
     return wake;
   };
 
   auto service_timers = [&] {
     const auto now = Clock::now();
+    if (churn != nullptr) {
+      while (churn_next < churn->events().size() && churn_due_at(churn_next) <= now) {
+        apply_churn(churn->events()[churn_next]);
+        ++churn_next;
+      }
+    }
     for (std::size_t i = 0; i < slots.size(); ++i) {
       if (slots[i].state == Slot::State::Running && slots[i].has_deadline &&
           slots[i].deadline <= now) {
@@ -379,10 +438,13 @@ PoolStats create_worker_pool_ft(iwim::ProcessContext& coordinator, iwim::Process
 
 PoolStats create_worker_pool(iwim::ProcessContext& coordinator, iwim::Process& master,
                              const WorkerFactory& factory, std::size_t& worker_counter,
-                             const fault::RetryPolicy* retry) {
+                             const fault::RetryPolicy* retry, const fleet::ChurnPlan* churn) {
   if (retry != nullptr) {
-    return create_worker_pool_ft(coordinator, master, factory, worker_counter, *retry);
+    return create_worker_pool_ft(coordinator, master, factory, worker_counter, *retry,
+                                 churn != nullptr && churn->empty() ? nullptr : churn);
   }
+  MG_REQUIRE_MSG(churn == nullptr || churn->empty(),
+                 "churn requires the fault-tolerant pool (set a retry policy)");
   iwim::Runtime& runtime = coordinator.runtime();
 
   // Lines 18-19: `auto process now is variable(0). auto process t is
@@ -448,7 +510,7 @@ PoolStats create_worker_pool(iwim::ProcessContext& coordinator, iwim::Process& m
 
 ProtocolStats protocol_mw(iwim::ProcessContext& coordinator,
                           const std::shared_ptr<iwim::Process>& master, WorkerFactory factory,
-                          const fault::RetryPolicy* retry) {
+                          const fault::RetryPolicy* retry, const fleet::ChurnPlan* churn) {
   MG_REQUIRE(master != nullptr);
   ProtocolStats stats;
   std::size_t worker_counter = 0;
@@ -467,11 +529,12 @@ ProtocolStats protocol_mw(iwim::ProcessContext& coordinator,
       // Line 61: the create_pool state calls Create_Worker_Pool, then posts
       // begin (the loop continues).
       const PoolStats pool =
-          create_worker_pool(coordinator, *master, factory, worker_counter, retry);
+          create_worker_pool(coordinator, *master, factory, worker_counter, retry, churn);
       stats.workers_created += pool.workers_created;
       stats.rendezvous_wait_seconds += pool.rendezvous_wait_seconds;
       stats.pools_created += 1;
       stats.faults += pool.faults;
+      stats.fleet += pool.fleet;
       protocol_metrics().pools_created.add();
       // The pool saw the master terminate: it consumed the occurrence, so
       // returning here (not re-awaiting) is what ends the protocol.
@@ -489,11 +552,14 @@ ProtocolStats run_main_program(iwim::Runtime& runtime,
   MG_REQUIRE(master != nullptr);
   ProtocolStats stats;
   const fault::RetryPolicy* retry = options.retry ? &*options.retry : nullptr;
+  const fleet::ChurnPlan plan =
+      options.churn ? fleet::ChurnPlan(*options.churn) : fleet::ChurnPlan();
+  const fleet::ChurnPlan* churn = options.churn ? &plan : nullptr;
   // §5 mainprog.m: Main's begin state is ProtocolMW(Master(argv), Worker).
   auto main = runtime.create_process(
       "Main", "main",
-      [&stats, master, retry, factory = std::move(factory)](iwim::ProcessContext& ctx) {
-        stats = protocol_mw(ctx, master, factory, retry);
+      [&stats, master, retry, churn, factory = std::move(factory)](iwim::ProcessContext& ctx) {
+        stats = protocol_mw(ctx, master, factory, retry, churn);
       });
   // The master passed to ProtocolMW is "the already active process instance".
   master->activate();
@@ -512,6 +578,7 @@ ProtocolStats run_main_program(iwim::Runtime& runtime,
   main->wait_terminated();
   master->wait_terminated();
   if (timed_out) stats.timed_out = true;
+  fleet::add_fleet_metrics(stats.fleet);
   return stats;
 }
 

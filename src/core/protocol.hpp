@@ -21,6 +21,7 @@
 #include <string>
 
 #include "fault/fault_plan.hpp"
+#include "fleet/churn.hpp"
 #include "manifold/process.hpp"
 #include "manifold/runtime.hpp"
 
@@ -65,6 +66,9 @@ struct ProtocolStats {
   /// Fault-tolerance ledger (crashes handled, retries, respawns, slots
   /// abandoned); all-zero when the retry policy is off and nothing failed.
   fault::FaultCounters faults;
+  /// Elastic-fleet ledger (churn events applied, units re-leased); all-zero
+  /// without a churn plan.
+  fleet::FleetCounters fleet;
   /// run_main_program's overall deadline expired before the protocol ended.
   bool timed_out = false;
 };
@@ -74,6 +78,7 @@ struct PoolStats {
   std::size_t workers_created = 0;
   double rendezvous_wait_seconds = 0.0;
   fault::FaultCounters faults;
+  fleet::FleetCounters fleet;
   /// The master terminated mid-pool; the pool aborted instead of waiting for
   /// deaths that can no longer be acknowledged.
   bool master_terminated = false;
@@ -91,9 +96,17 @@ struct PoolStats {
 /// budget is exhausted the slot is abandoned: the master receives a
 /// WorkAbandoned unit instead of the result and the pool finishes degraded
 /// rather than hanging.
+/// With a non-null `churn` (requires `retry`), the pool additionally replays
+/// a seeded spot-instance schedule against itself: Leave kills a running
+/// worker and re-leases its unit immediately (no backoff), Crash kills one
+/// and routes it through the normal crash/retry path, Join is recorded (the
+/// threads pool cannot grow beyond the master's create_worker requests;
+/// respawned incarnations are its joins).  Results stay bit-identical — the
+/// re-leased unit is replayed from the coordinator's tap exactly once.
 ProtocolStats protocol_mw(iwim::ProcessContext& coordinator,
                           const std::shared_ptr<iwim::Process>& master, WorkerFactory factory,
-                          const fault::RetryPolicy* retry = nullptr);
+                          const fault::RetryPolicy* retry = nullptr,
+                          const fleet::ChurnPlan* churn = nullptr);
 
 /// The manner Create_Worker_Pool (protocolMW.m lines 12-51).  Creates
 /// workers on demand, wires their streams, counts death_worker events at the
@@ -105,7 +118,8 @@ ProtocolStats protocol_mw(iwim::ProcessContext& coordinator,
 /// function of the counter.
 PoolStats create_worker_pool(iwim::ProcessContext& coordinator, iwim::Process& master,
                              const WorkerFactory& factory, std::size_t& worker_counter,
-                             const fault::RetryPolicy* retry = nullptr);
+                             const fault::RetryPolicy* retry = nullptr,
+                             const fleet::ChurnPlan* churn = nullptr);
 
 struct RunOptions {
   /// Engages the fault-tolerant pool when set.  The fault-tolerant pool
@@ -118,6 +132,10 @@ struct RunOptions {
   /// ShutdownSignal and the returned stats carry timed_out=true — an error
   /// status instead of a hang when the master dies without raising finished.
   std::chrono::milliseconds overall_deadline{0};
+  /// Seeded spot-instance churn applied to every pool (requires `retry`; the
+  /// crash/respawn machinery doubles as the churn driver).  Event offsets are
+  /// wall seconds from each pool's start.
+  std::optional<fleet::ChurnPlanConfig> churn;
 };
 
 /// Builds and runs the whole §5 main program:

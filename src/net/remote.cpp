@@ -75,6 +75,26 @@ NetMetrics& net_metrics() {
   return m;
 }
 
+// Elastic-fleet obs mirrors — same fleet.* names every substrate writes, so
+// the merged view of a run sums threads, sim, and TCP contributions.
+struct FleetNetMetrics {
+  obs::Counter& joins;
+  obs::Counter& leaves;
+  obs::Counter& crashes;
+  obs::Counter& steals;
+  obs::Counter& releases;
+  obs::Counter& duplicates;
+};
+
+FleetNetMetrics& fleet_net_metrics() {
+  static FleetNetMetrics m{
+      obs::registry().counter("fleet.joins"),    obs::registry().counter("fleet.leaves"),
+      obs::registry().counter("fleet.crashes"),  obs::registry().counter("fleet.steals"),
+      obs::registry().counter("fleet.releases"), obs::registry().counter("fleet.duplicates"),
+  };
+  return m;
+}
+
 }  // namespace
 
 struct RemoteEndpoint::CounterCells {
@@ -94,6 +114,12 @@ struct RemoteEndpoint::CounterCells {
   std::atomic<std::uint64_t> telemetry_batches{0};
   std::atomic<std::uint64_t> telemetry_spans{0};
   std::atomic<std::uint64_t> telemetry_rejected{0};
+  std::atomic<std::uint64_t> fleet_joins{0};
+  std::atomic<std::uint64_t> fleet_leaves{0};
+  std::atomic<std::uint64_t> fleet_crashes{0};
+  std::atomic<std::uint64_t> fleet_steals{0};
+  std::atomic<std::uint64_t> fleet_releases{0};
+  std::atomic<std::uint64_t> fleet_duplicates{0};
 
   void bump(std::atomic<std::uint64_t>& cell, obs::Counter& mirror, std::uint64_t n = 1) {
     cell.fetch_add(n, std::memory_order_relaxed);
@@ -103,9 +129,12 @@ struct RemoteEndpoint::CounterCells {
 
 struct RemoteEndpoint::Trip {
   std::vector<std::uint8_t> work;
-  std::uint64_t seq = 0;      ///< loop thread: assigned at dispatch
-  std::uint64_t channel = 0;  ///< loop thread: leased channel id, 0 = queued
-  std::uint64_t job_id = 0;   ///< caller-supplied trace attribution
+  std::uint64_t seq = 0;     ///< loop thread: seq of the latest dispatch
+  std::uint64_t job_id = 0;  ///< caller-supplied trace attribution
+  /// Loop thread: channels currently carrying this trip.  At most one unless
+  /// a speculative re-lease put a second copy in flight; empty = queued.
+  std::vector<std::uint64_t> carriers;
+  bool speculated = false;  ///< one speculative re-lease per trip
 
   // Telemetry (loop thread): set when a trace context was prepended to the
   // Work payload — the Result is then a telemetry envelope.
@@ -127,6 +156,14 @@ struct RemoteEndpoint::Channel {
   std::vector<std::uint8_t> outbox;  ///< unsent tx bytes (partial writes)
   std::size_t out_off = 0;
   std::shared_ptr<Trip> active;      ///< in-flight round trip, if any
+  /// Seq this channel expects on its next Result/Error.  Distinct from
+  /// trip->seq once a speculative copy is in flight elsewhere (each carrier
+  /// keeps the seq of its own send).
+  std::uint64_t active_seq = 0;
+  std::chrono::steady_clock::time_point sent_at{};  ///< active dispatch time
+  /// Elastic: work leased to this channel but not yet on the wire (the
+  /// channel serves one frame at a time); what idle joiners steal from.
+  std::deque<std::shared_ptr<Trip>> backlog;
 
   // Telemetry: per-connection clock alignment + the trace track all of this
   // channel's dispatch and worker spans land on.
@@ -159,6 +196,44 @@ void RemoteEndpoint::setup_on_loop() {
   // loop inside accept().
   listener_.set_nonblocking(true);
   loop_.watch(listener_.fd(), POLLIN, [this](short) { on_acceptable(); });
+  if (config_.elastic.enabled && config_.elastic.soft_deadline.count() > 0) arm_speculation();
+}
+
+void RemoteEndpoint::arm_speculation() {
+  const auto tick = std::max(config_.elastic.soft_deadline / 2, std::chrono::milliseconds(5));
+  loop_.post_after(tick, [this] {
+    if (down_.load(std::memory_order_acquire)) return;
+    speculate();
+    arm_speculation();
+  });
+}
+
+void RemoteEndpoint::speculate() {
+  // A lease in flight past the soft deadline gets a second copy on an idle
+  // channel — first Result wins; the loser is recognised by its seq and
+  // dropped (never combined, never double-counted).
+  const auto now = std::chrono::steady_clock::now();
+  for (;;) {
+    Channel* idle = nullptr;
+    Channel* overdue = nullptr;
+    for (auto& [id, ch] : channels_) {
+      if (!ch->hello_seen) continue;
+      if (!ch->active) {
+        if (ch->backlog.empty() && idle == nullptr) idle = ch.get();
+        continue;
+      }
+      if (!ch->active->speculated && now - ch->sent_at >= config_.elastic.soft_deadline &&
+          !trip_done(ch->active) &&
+          (overdue == nullptr || ch->sent_at < overdue->sent_at)) {
+        overdue = ch.get();
+      }
+    }
+    if (idle == nullptr || overdue == nullptr) return;
+    auto trip = overdue->active;  // copy: the original carrier keeps racing
+    trip->speculated = true;
+    counters_->bump(counters_->fleet_releases, fleet_net_metrics().releases);
+    dispatch(*idle, std::move(trip));
+  }
 }
 
 void RemoteEndpoint::on_acceptable() {
@@ -246,6 +321,9 @@ void RemoteEndpoint::handle_frame(Channel& ch, Frame frame) {
       }
       counters_->bump(counters_->accepts, net_metrics().accepts);
       if (attempt > 0) counters_->bump(counters_->reconnects, net_metrics().reconnects);
+      if (config_.elastic.enabled) {
+        counters_->bump(counters_->fleet_joins, fleet_net_metrics().joins);
+      }
       connected_.fetch_add(1, std::memory_order_acq_rel);
       {
         std::lock_guard<std::mutex> lk(workers_mutex_);
@@ -255,11 +333,27 @@ void RemoteEndpoint::handle_frame(Channel& ch, Frame frame) {
       return;
     }
     case FrameType::Result: {
-      if (!ch.active || frame.header.seq != ch.active->seq) {
+      if (!ch.active || frame.header.seq != ch.active_seq) {
+        if (config_.elastic.enabled && seq_retired(frame.header.seq)) {
+          // Late echo of a lease that already completed elsewhere on this
+          // channel — a speculative loser, not a protocol violation.
+          counters_->bump(counters_->fleet_duplicates, fleet_net_metrics().duplicates);
+          return;
+        }
         close_channel(ch.id, "protocol violation: unexpected Result seq");
         return;
       }
       auto trip = std::move(ch.active);
+      retire_seq(frame.header.seq);
+      trip->carriers.erase(std::remove(trip->carriers.begin(), trip->carriers.end(), ch.id),
+                           trip->carriers.end());
+      if (config_.elastic.enabled && trip_done(trip)) {
+        // This carrier lost the speculation race: the unit was already
+        // combined once, so this copy is dropped, not delivered.
+        counters_->bump(counters_->fleet_duplicates, fleet_net_metrics().duplicates);
+        try_dispatch();
+        return;
+      }
       if (!trip->context_sent) {
         complete_trip(trip, std::move(frame.payload));
         try_dispatch();
@@ -304,13 +398,25 @@ void RemoteEndpoint::handle_frame(Channel& ch, Frame frame) {
       return;
     }
     case FrameType::Error: {
-      if (!ch.active || frame.header.seq != ch.active->seq) {
+      if (!ch.active || frame.header.seq != ch.active_seq) {
+        if (config_.elastic.enabled && seq_retired(frame.header.seq)) {
+          counters_->bump(counters_->fleet_duplicates, fleet_net_metrics().duplicates);
+          return;
+        }
         close_channel(ch.id, "protocol violation: unexpected Error seq");
         return;
       }
       // The worker is healthy — its computation failed.  Fail the trip but
       // keep the channel; the supervisor decides whether to retry.
       auto trip = std::move(ch.active);
+      retire_seq(frame.header.seq);
+      trip->carriers.erase(std::remove(trip->carriers.begin(), trip->carriers.end(), ch.id),
+                           trip->carriers.end());
+      if (config_.elastic.enabled && trip_done(trip)) {
+        counters_->bump(counters_->fleet_duplicates, fleet_net_metrics().duplicates);
+        try_dispatch();
+        return;
+      }
       fail_trip(trip, "worker error: " +
                           std::string(frame.payload.begin(), frame.payload.end()));
       try_dispatch();
@@ -341,34 +447,135 @@ void RemoteEndpoint::close_channel(std::uint64_t id, const std::string& reason) 
     workers_cv_.notify_all();
   }
   counters_->bump(counters_->disconnects, net_metrics().disconnects);
-  if (ch.active) fail_trip(ch.active, "channel closed: " + reason);
+  // Elastic mode survives a channel death: its leases go back to the queue
+  // front (a re-lease) unless a speculative copy is still racing elsewhere.
+  // During shutdown nobody will dispatch again, so trips must fail instead.
+  const bool elastic = config_.elastic.enabled && !down_.load(std::memory_order_acquire);
+  bool requeued = false;
+  if (ch.active) {
+    auto trip = std::move(ch.active);
+    retire_seq(ch.active_seq);
+    trip->carriers.erase(std::remove(trip->carriers.begin(), trip->carriers.end(), id),
+                         trip->carriers.end());
+    if (elastic) {
+      if (!trip_done(trip) && trip->carriers.empty()) {
+        counters_->bump(counters_->fleet_releases, fleet_net_metrics().releases);
+        pending_trips_.push_front(std::move(trip));
+        requeued = true;
+      }
+    } else {
+      fail_trip(trip, "channel closed: " + reason);
+    }
+  }
+  for (auto bit = ch.backlog.rbegin(); bit != ch.backlog.rend(); ++bit) {
+    if (elastic && !trip_done(*bit)) {
+      pending_trips_.push_front(std::move(*bit));
+      requeued = true;
+    } else if (!elastic && !trip_done(*bit)) {
+      fail_trip(*bit, "channel closed: " + reason);
+    }
+  }
+  ch.backlog.clear();
   channels_.erase(it);
+  if (requeued) {
+    // Deferred: close_channel may be running inside try_dispatch already.
+    loop_.post([this] { try_dispatch(); });
+  }
 }
 
 void RemoteEndpoint::try_dispatch() {
-  while (!pending_trips_.empty()) {
-    Channel* idle = nullptr;
+  if (!config_.elastic.enabled) {
+    while (!pending_trips_.empty()) {
+      Channel* idle = nullptr;
+      for (auto& [id, ch] : channels_) {
+        if (ch->hello_seen && !ch->active) {
+          idle = ch.get();
+          break;
+        }
+      }
+      if (idle == nullptr) return;
+      auto trip = std::move(pending_trips_.front());
+      pending_trips_.pop_front();
+      {
+        std::lock_guard<std::mutex> lk(trip->m);
+        if (trip->done) continue;  // aborted while queued
+      }
+      dispatch(*idle, std::move(trip));
+    }
+    return;
+  }
+
+  // Elastic scheduler.  One placement per pass — a send can tear down its
+  // channel, so every pass rescans the (possibly mutated) channel map:
+  //   1. a free wire slot drains its own backlog;
+  //   2. queued work goes to an idle channel, else the shallowest backlog
+  //      with lease capacity;
+  //   3. with nothing queued, an idle channel steals the oldest
+  //      leased-but-unsent unit from the most-loaded lane.
+  for (;;) {
+    Channel* wire = nullptr;   // free wire slot with its own backlog
+    Channel* idle = nullptr;   // free wire slot, empty backlog
+    Channel* roomy = nullptr;  // busy, but under lease_depth
+    Channel* donor = nullptr;  // deepest backlog (steal victim)
     for (auto& [id, ch] : channels_) {
-      if (ch->hello_seen && !ch->active) {
-        idle = ch.get();
-        break;
+      if (!ch->hello_seen) continue;
+      if (!ch->active) {
+        if (!ch->backlog.empty()) {
+          if (wire == nullptr) wire = ch.get();
+        } else if (idle == nullptr) {
+          idle = ch.get();
+        }
+        continue;
+      }
+      if (ch->backlog.size() + 1 < config_.elastic.lease_depth &&
+          (roomy == nullptr || ch->backlog.size() < roomy->backlog.size())) {
+        roomy = ch.get();
+      }
+      if (!ch->backlog.empty() &&
+          (donor == nullptr || ch->backlog.size() > donor->backlog.size())) {
+        donor = ch.get();
       }
     }
-    if (idle == nullptr) return;
-    auto trip = std::move(pending_trips_.front());
-    pending_trips_.pop_front();
-    {
-      std::lock_guard<std::mutex> lk(trip->m);
-      if (trip->done) continue;  // aborted while queued
+    const auto aborted_while_queued = [](const std::shared_ptr<Trip>& t) {
+      std::lock_guard<std::mutex> lk(t->m);
+      return t->done;
+    };
+    if (wire != nullptr) {
+      auto trip = std::move(wire->backlog.front());
+      wire->backlog.pop_front();
+      if (aborted_while_queued(trip)) continue;
+      dispatch(*wire, std::move(trip));
+      continue;
     }
-    dispatch(*idle, std::move(trip));
+    if (!pending_trips_.empty() && (idle != nullptr || roomy != nullptr)) {
+      auto trip = std::move(pending_trips_.front());
+      pending_trips_.pop_front();
+      if (aborted_while_queued(trip)) continue;
+      if (idle != nullptr) {
+        dispatch(*idle, std::move(trip));
+      } else {
+        roomy->backlog.push_back(std::move(trip));
+      }
+      continue;
+    }
+    if (idle != nullptr && donor != nullptr && config_.elastic.steal) {
+      auto trip = std::move(donor->backlog.front());
+      donor->backlog.pop_front();
+      if (aborted_while_queued(trip)) continue;
+      counters_->bump(counters_->fleet_steals, fleet_net_metrics().steals);
+      dispatch(*idle, std::move(trip));
+      continue;
+    }
+    return;
   }
 }
 
 void RemoteEndpoint::dispatch(Channel& ch, std::shared_ptr<Trip> trip) {
   trip->seq = next_seq_++;
-  trip->channel = ch.id;
+  trip->carriers.push_back(ch.id);
   ch.active = trip;
+  ch.active_seq = trip->seq;
+  ch.sent_at = std::chrono::steady_clock::now();
   const std::uint64_t ordinal = transfer_ordinal_++;
   std::vector<std::uint8_t> bytes;
   if (config_.telemetry) {
@@ -480,6 +687,26 @@ void RemoteEndpoint::complete_trip(const std::shared_ptr<Trip>& trip,
   trip->cv.notify_all();
 }
 
+bool RemoteEndpoint::trip_done(const std::shared_ptr<Trip>& trip) const {
+  std::lock_guard<std::mutex> lk(trip->m);
+  return trip->done;
+}
+
+void RemoteEndpoint::retire_seq(std::uint64_t seq) {
+  if (!config_.elastic.enabled || seq == 0) return;
+  constexpr std::size_t kRetiredRing = 256;
+  if (retired_seqs_.size() < kRetiredRing) {
+    retired_seqs_.push_back(seq);
+  } else {
+    retired_seqs_[retired_next_] = seq;
+    retired_next_ = (retired_next_ + 1) % kRetiredRing;
+  }
+}
+
+bool RemoteEndpoint::seq_retired(std::uint64_t seq) const {
+  return std::find(retired_seqs_.begin(), retired_seqs_.end(), seq) != retired_seqs_.end();
+}
+
 bool RemoteEndpoint::wait_for_workers(std::size_t n, std::chrono::milliseconds timeout) {
   std::unique_lock<std::mutex> lk(workers_mutex_);
   workers_cv_.wait_for(lk, timeout, [&] {
@@ -535,10 +762,13 @@ RemoteEndpoint::RoundTrip RemoteEndpoint::round_trip(std::vector<std::uint8_t> w
           std::lock_guard<std::mutex> inner(trip->m);
           if (trip->done) return;
         }
-        if (trip->channel != 0) {
-          // In flight: kill the channel so a late Result cannot alias a
-          // future lease.  The worker reconnects with a fresh stream.
-          close_channel(trip->channel, reason);
+        if (!trip->carriers.empty()) {
+          // In flight: fail first so close_channel cannot re-lease it, then
+          // kill every carrier so a late Result cannot alias a future lease.
+          // The workers reconnect with fresh streams.
+          fail_trip(trip, reason);
+          const std::vector<std::uint64_t> carriers = trip->carriers;
+          for (const std::uint64_t id : carriers) close_channel(id, reason);
         } else {
           const auto it = std::find(pending_trips_.begin(), pending_trips_.end(), trip);
           if (it != pending_trips_.end()) pending_trips_.erase(it);
@@ -601,7 +831,34 @@ RemoteCounters RemoteEndpoint::counters() const {
   c.telemetry_batches = counters_->telemetry_batches.load(std::memory_order_relaxed);
   c.telemetry_spans = counters_->telemetry_spans.load(std::memory_order_relaxed);
   c.telemetry_rejected = counters_->telemetry_rejected.load(std::memory_order_relaxed);
+  c.fleet_joins = counters_->fleet_joins.load(std::memory_order_relaxed);
+  c.fleet_leaves = counters_->fleet_leaves.load(std::memory_order_relaxed);
+  c.fleet_crashes = counters_->fleet_crashes.load(std::memory_order_relaxed);
+  c.fleet_steals = counters_->fleet_steals.load(std::memory_order_relaxed);
+  c.fleet_releases = counters_->fleet_releases.load(std::memory_order_relaxed);
+  c.fleet_duplicates = counters_->fleet_duplicates.load(std::memory_order_relaxed);
   return c;
+}
+
+void RemoteEndpoint::disrupt(bool graceful) {
+  loop_.post([this, graceful] {
+    if (down_.load(std::memory_order_acquire)) return;
+    const auto load_of = [](const Channel& c) {
+      return (c.active ? std::size_t{1} : std::size_t{0}) + c.backlog.size();
+    };
+    Channel* busiest = nullptr;
+    for (auto& [id, ch] : channels_) {
+      if (!ch->hello_seen) continue;
+      if (busiest == nullptr || load_of(*ch) > load_of(*busiest)) busiest = ch.get();
+    }
+    if (busiest == nullptr) return;
+    if (graceful) {
+      counters_->bump(counters_->fleet_leaves, fleet_net_metrics().leaves);
+    } else {
+      counters_->bump(counters_->fleet_crashes, fleet_net_metrics().crashes);
+    }
+    close_channel(busiest->id, graceful ? "churn: worker left" : "churn: worker crashed");
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -628,8 +885,11 @@ WorkerMetrics& worker_metrics() {
 }
 
 /// Serves frames on one established connection.  Returns true for an orderly
-/// Bye (exit the worker), false to reconnect.
-bool serve_connection(Socket& sock, const WorkHandler& handler, std::size_t max_payload) {
+/// Bye (exit the worker), false to reconnect.  `engaged` is set once the
+/// master sends any well-formed frame — the only proof that the handshake
+/// reached a live master rather than a bare TCP accept.
+bool serve_connection(Socket& sock, const WorkHandler& handler, std::size_t max_payload,
+                      bool& engaged) {
   FrameDecoder decoder(max_payload);
   std::uint8_t buf[64 * 1024];
   for (;;) {
@@ -643,6 +903,7 @@ bool serve_connection(Socket& sock, const WorkHandler& handler, std::size_t max_
     decoder.feed(buf, static_cast<std::size_t>(r));
     try {
       while (auto frame = decoder.next()) {
+        engaged = true;
         switch (frame->header.type) {
           case FrameType::Work: {
             std::vector<std::uint8_t> out;
@@ -705,7 +966,6 @@ int run_worker_loop(const std::string& host, std::uint16_t port, const WorkHandl
       std::this_thread::sleep_for(options.reconnect_backoff);
       continue;
     }
-    consecutive_failures = 0;
 
     std::uint8_t hello[24];
     put_u64(hello, static_cast<std::uint64_t>(::getpid()));
@@ -717,9 +977,25 @@ int run_worker_loop(const std::string& host, std::uint16_t port, const WorkHandl
     put_u64(hello + 16, sample_bits);
     ++attempt;
     const std::vector<std::uint8_t> frame = encode_frame(FrameType::Hello, 0, hello, sizeof hello);
-    if (!send_all(sock, frame.data(), frame.size())) continue;
+    if (!send_all(sock, frame.data(), frame.size())) {
+      if (++consecutive_failures >= options.max_connect_failures) return 0;
+      std::this_thread::sleep_for(options.reconnect_backoff);
+      continue;
+    }
 
-    if (serve_connection(sock, handler, options.max_payload)) return 0;
+    // A bare TCP accept — even one that swallows the Hello bytes — proves
+    // nothing about the master: a listener that accepts and then drops the
+    // connection must burn the failure budget and back off, not hot-loop.
+    // The budget resets only once the master *answers* the handshake with a
+    // well-formed frame.
+    bool engaged = false;
+    const bool orderly = serve_connection(sock, handler, options.max_payload, engaged);
+    if (orderly) return 0;
+    if (engaged) {
+      consecutive_failures = 0;
+    } else if (++consecutive_failures >= options.max_connect_failures) {
+      return 0;  // master gone (or never really there)
+    }
     std::this_thread::sleep_for(options.reconnect_backoff);
   }
 }
@@ -745,6 +1021,25 @@ std::vector<int> fork_worker_processes(std::size_t n, const std::function<int()>
     pids.push_back(static_cast<int>(pid));
   }
   return pids;
+}
+
+void drive_churn(RemoteEndpoint& endpoint, const fleet::ChurnPlan& plan,
+                 const std::atomic<bool>& stop) {
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+  for (const auto& event : plan.events()) {
+    // Joins are the workers' business (late connects); the master only
+    // takes machines away.
+    if (event.kind == fleet::ChurnEventKind::Join) continue;
+    const auto due = start + std::chrono::duration_cast<clock::duration>(
+                                 std::chrono::duration<double>(event.at_seconds));
+    while (clock::now() < due) {
+      if (stop.load(std::memory_order_acquire)) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (stop.load(std::memory_order_acquire)) return;
+    endpoint.disrupt(event.kind == fleet::ChurnEventKind::Leave);
+  }
 }
 
 int wait_worker_processes(const std::vector<int>& pids) {

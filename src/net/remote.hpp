@@ -32,11 +32,28 @@
 #include <vector>
 
 #include "fault/fault_plan.hpp"
+#include "fleet/churn.hpp"
 #include "net/event_loop.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
 
 namespace mg::net {
+
+/// Elastic-fleet behaviour of the endpoint.  Off by default: the wire
+/// protocol and failure semantics are then byte-identical to the fixed-fleet
+/// endpoint (one lease per channel, unexpected seq closes the connection).
+struct ElasticConfig {
+  bool enabled = false;
+  /// Work units leased to one channel: 1 in flight + (depth-1) queued
+  /// locally.  Depth >= 2 gives idle joiners a backlog to steal from.
+  std::size_t lease_depth = 2;
+  /// A lease in flight longer than this is speculatively re-issued to an
+  /// idle channel (first Result wins, the loser is discarded and counted as
+  /// fleet.duplicates).  0 disables speculation.
+  std::chrono::milliseconds soft_deadline{0};
+  /// Idle channels steal leased-but-unsent work from the most-loaded one.
+  bool steal = true;
+};
 
 struct RemoteEndpointConfig {
   /// Hard cap on one lease-dispatch-collect cycle; 0 = wait forever.  This
@@ -50,6 +67,9 @@ struct RemoteEndpointConfig {
   /// and merge the worker's piggybacked counter/span batch from the Result.
   /// A pure observer either way — result bytes are delivered verbatim.
   bool telemetry = true;
+  /// Elastic fleet: join/leave churn tolerance, work stealing, and
+  /// deadline-aware speculative re-leasing.
+  ElasticConfig elastic;
 };
 
 /// Point-in-time copy of the endpoint's counters (also mirrored into the
@@ -71,6 +91,13 @@ struct RemoteCounters {
   std::uint64_t telemetry_batches = 0;   ///< worker batches merged
   std::uint64_t telemetry_spans = 0;     ///< worker spans re-timed + merged
   std::uint64_t telemetry_rejected = 0;  ///< malformed batches dropped (job unaffected)
+  // Elastic fleet (all zero unless config.elastic.enabled).
+  std::uint64_t fleet_joins = 0;       ///< handshakes accepted into the lease set
+  std::uint64_t fleet_leaves = 0;      ///< graceful departures (disrupt/Bye)
+  std::uint64_t fleet_crashes = 0;     ///< abrupt channel deaths handled
+  std::uint64_t fleet_steals = 0;      ///< leased-but-unsent units rebalanced
+  std::uint64_t fleet_releases = 0;    ///< units re-leased (lost lease or soft deadline)
+  std::uint64_t fleet_duplicates = 0;  ///< speculative-loser results discarded
 };
 
 class RemoteEndpoint {
@@ -108,6 +135,12 @@ class RemoteEndpoint {
                        const std::function<bool()>& cancelled = {},
                        std::uint64_t job_id = 0);
 
+  /// Elastic-fleet churn hook: closes the most-loaded connected channel, as
+  /// a spot instance leaving (`graceful`) or crashing.  The channel's leases
+  /// are re-queued (elastic mode) and the worker reconnects fresh; a no-op
+  /// when no channel is connected.  Thread-safe.
+  void disrupt(bool graceful);
+
   /// Stops accepting, closes every channel (workers see EOF and eventually
   /// give up reconnecting), fails pending trips, and joins the loop thread.
   /// Idempotent; also run by the destructor.
@@ -130,6 +163,11 @@ class RemoteEndpoint {
   void flush_channel(Channel& ch);
   void fail_trip(const std::shared_ptr<Trip>& trip, const std::string& error);
   void complete_trip(const std::shared_ptr<Trip>& trip, std::vector<std::uint8_t> payload);
+  bool trip_done(const std::shared_ptr<Trip>& trip) const;
+  void retire_seq(std::uint64_t seq);
+  bool seq_retired(std::uint64_t seq) const;
+  void speculate();
+  void arm_speculation();
 
   RemoteEndpointConfig config_;
   TcpListener listener_;
@@ -144,6 +182,11 @@ class RemoteEndpoint {
   std::uint64_t transfer_ordinal_ = 0;  ///< work-frame sends, for the fault plan
   std::uint64_t trace_id_ = 0;          ///< one per endpoint (pid + ordinal)
   std::uint64_t next_span_id_ = 1;      ///< dispatch span ids within the trace
+  /// Ring of recently completed lease seqs (elastic): a Result bearing one of
+  /// these is a speculative loser's late echo, dropped without closing the
+  /// channel.  Any other unexpected seq is still a protocol violation.
+  std::vector<std::uint64_t> retired_seqs_;
+  std::size_t retired_next_ = 0;
 
   // ---- shared state ----
   std::atomic<std::size_t> connected_{0};
@@ -187,5 +230,14 @@ std::vector<int> fork_worker_processes(std::size_t n, const std::function<int()>
 
 /// Reaps the forked workers; returns the maximum exit status observed.
 int wait_worker_processes(const std::vector<int>& pids);
+
+/// Spot-instance churn driver: replays a ChurnPlan's Leave/Crash events
+/// against a live endpoint in wall time (event offsets are seconds from the
+/// call).  Join events are not the master's to make — late workers connect on
+/// their own schedule — so they are skipped here.  Blocks until the last
+/// event fired or `stop` became true; poll-sleeps so a finished run returns
+/// promptly.
+void drive_churn(RemoteEndpoint& endpoint, const fleet::ChurnPlan& plan,
+                 const std::atomic<bool>& stop);
 
 }  // namespace mg::net

@@ -111,6 +111,7 @@ struct SolveEngine::Job {
 SolveEngine::SolveEngine(EngineConfig config)
     : config_(config), scheduler_(config.admission) {
   MG_REQUIRE(config_.lanes > 0);
+  lane_target_.store(config_.lanes, std::memory_order_relaxed);
   lanes_.reserve(config_.lanes);
   for (std::size_t i = 0; i < config_.lanes; ++i) {
     lanes_.emplace_back([this, i] { lane_main(i); });
@@ -641,6 +642,55 @@ EngineCounters SolveEngine::counters() const {
 }
 
 SchedulerCounters SolveEngine::scheduler_counters() const { return scheduler_.counters(); }
+
+fleet::FleetCounters SolveEngine::fleet_counters() const {
+  fleet::FleetCounters out;
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    out = fleet_;
+  }
+  // Fold in the TCP substrate's elastic ledger so one probe answers for the
+  // whole fleet, lanes and channels alike.
+  if (config_.remote != nullptr) {
+    const net::RemoteCounters rc = config_.remote->counters();
+    out.joins += rc.fleet_joins;
+    out.leaves += rc.fleet_leaves;
+    out.crashes += rc.fleet_crashes;
+    out.steals += rc.fleet_steals;
+    out.releases += rc.fleet_releases;
+    out.duplicates += rc.fleet_duplicates;
+  }
+  return out;
+}
+
+std::size_t SolveEngine::resize(std::size_t lanes) {
+  MG_REQUIRE(lanes > 0);
+  std::lock_guard<std::mutex> lock(jobs_mutex_);
+  const std::size_t cur = lane_target_.load(std::memory_order_relaxed);
+  if (down_ || lanes == cur) return cur;
+  fleet::FleetCounters delta;
+  if (lanes > cur) {
+    const std::size_t added = lanes - cur;
+    for (std::size_t i = 0; i < added; ++i) {
+      const std::size_t index = lanes_.size();
+      lanes_.emplace_back([this, index] { lane_main(index); });
+    }
+    delta.joins = added;
+    support::log_info("svc: fleet grew ", cur, " -> ", lanes, " lanes");
+  } else {
+    const std::size_t removed = cur - lanes;
+    scheduler_.retire_lanes(removed);
+    delta.leaves = removed;
+    support::log_info("svc: fleet shrinking ", cur, " -> ", lanes, " lanes");
+  }
+  lane_target_.store(lanes, std::memory_order_relaxed);
+  fleet::add_fleet_metrics(delta);
+  {
+    std::lock_guard<std::mutex> clock(counters_mutex_);
+    fleet_ += delta;
+  }
+  return lanes;
+}
 
 void SolveEngine::shutdown() {
   {

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "fault/fault_plan.hpp"
+#include "fleet/churn.hpp"
 #include "svc/job.hpp"
 #include "svc/scheduler.hpp"
 
@@ -101,11 +102,21 @@ class SolveEngine {
   /// Jobs that have reached any terminal state since construction.
   std::size_t terminal_jobs() const;
 
+  /// Elastic resize of the lane fleet: growing spawns new lane threads that
+  /// start pulling tasks immediately (fleet joins); shrinking retires lanes
+  /// as they next ask the scheduler for work — an executing task always
+  /// finishes first (fleet leaves).  Returns the new target; a no-op after
+  /// shutdown.  Thread-safe.
+  std::size_t resize(std::size_t lanes);
+
   EngineCounters counters() const;
   SchedulerCounters scheduler_counters() const;
+  /// Elastic-fleet ledger: lane joins/leaves from resize() (the service's
+  /// substrate-level steal/release counters live on the RemoteEndpoint).
+  fleet::FleetCounters fleet_counters() const;
 
   // ---- live-stats probes (GetStats; see svc/stats.hpp) ----
-  std::size_t lanes() const { return config_.lanes; }
+  std::size_t lanes() const { return lane_target_.load(std::memory_order_relaxed); }
   /// Lanes currently executing a task (vs parked in next_task()).
   std::size_t busy_lanes() const { return busy_lanes_.load(std::memory_order_relaxed); }
   std::size_t running_jobs() const { return scheduler_.running_jobs(); }
@@ -139,6 +150,9 @@ class SolveEngine {
 
   mutable std::mutex counters_mutex_;
   EngineCounters counters_;
+  fleet::FleetCounters fleet_;
+
+  std::atomic<std::size_t> lane_target_{0};  ///< current fleet-size target
 
   mutable std::mutex wait_mutex_;
   std::condition_variable terminal_cv_;

@@ -45,6 +45,11 @@ struct JobServer::Session {
   net::Socket socket;
   net::FrameDecoder decoder;
   std::thread thread;
+  /// Jobs this session submitted.  While any of them is still non-terminal
+  /// the session counts as active — a client that submits a long job and
+  /// only polls at the end must not be cut off by the idle timer.  Written
+  /// and read only by the session's own thread.
+  std::vector<std::uint64_t> jobs;
 
   Session(std::uint64_t id_, net::Socket socket_, std::size_t max_payload)
       : id(id_), socket(std::move(socket_)), decoder(max_payload) {}
@@ -102,6 +107,20 @@ void JobServer::session_main(std::shared_ptr<Session> session) {
             std::chrono::steady_clock::now() - last_frame_at);
         const auto left = config_.idle_timeout - idle_for;
         if (left.count() <= 0) {
+          // An in-flight job counts as session activity: refresh the idle
+          // clock instead of closing under the client's feet.
+          bool job_running = false;
+          for (const std::uint64_t job_id : session->jobs) {
+            const JobStatusInfo info = engine_.status(job_id);
+            if (info.known && !is_terminal(info.state)) {
+              job_running = true;
+              break;
+            }
+          }
+          if (job_running) {
+            last_frame_at = std::chrono::steady_clock::now();
+            continue;
+          }
           idle_kill = true;
           break;
         }
@@ -177,6 +196,7 @@ bool JobServer::serve_frame(Session& session, const net::Frame& frame) {
     case FrameType::SubmitJob: {
       const JobSpec spec = decode_job_spec(frame.payload);  // throws -> fatal
       const JobTicket ticket = engine_.submit(spec);
+      if (ticket.accepted) session.jobs.push_back(ticket.job_id);
       return send_frame(session, FrameType::JobAccepted, seq, encode_job_ticket(ticket));
     }
     case FrameType::JobStatus: {
@@ -248,6 +268,7 @@ ServiceStats JobServer::stats() const {
   stats.scheduler = engine_.scheduler_counters();
   stats.engine = engine_.counters();
   stats.server = counters();
+  stats.fleet = engine_.fleet_counters();
   stats.tenants = engine_.active_statuses();
   const obs::MetricsSnapshot snap = obs::registry().snapshot();
   const auto task_it = snap.histograms.find("svc.task_seconds");

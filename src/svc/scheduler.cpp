@@ -115,6 +115,10 @@ std::optional<TaskRef> FairScheduler::next_task() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     if (stopped_) return std::nullopt;
+    if (retire_tokens_ > 0) {
+      --retire_tokens_;
+      return std::nullopt;  // this lane retires (elastic shrink)
+    }
     Job* job = pick_job();
     if (job != nullptr) {
       TaskRef task = job->pending.front();
@@ -158,6 +162,12 @@ void FairScheduler::release_slot(std::uint64_t id) {
   }
   jobs_.erase(it);
   promote_waiters();
+}
+
+void FairScheduler::retire_lanes(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  retire_tokens_ += n;
+  task_ready_.notify_all();
 }
 
 void FairScheduler::stop() {

@@ -76,6 +76,12 @@ class FairScheduler {
   /// job) or removes it from the wait queue.  Idempotent.
   void release_slot(std::uint64_t id);
 
+  /// Asks `n` lanes to retire: the next `n` next_task() calls — parked
+  /// waiters included — return nullopt instead of a task, ending their lane
+  /// loop.  The engine's elastic resize uses this to shrink the fleet;
+  /// pending tasks are untouched (the surviving lanes pick them up).
+  void retire_lanes(std::size_t n);
+
   /// Wakes every next_task() waiter with nullopt; further admits fail.
   void stop();
 
@@ -103,6 +109,7 @@ class FairScheduler {
   std::map<std::uint64_t, Job> jobs_;
   std::deque<std::uint64_t> wait_queue_;  ///< admitted, no running slot yet
   std::size_t running_ = 0;
+  std::size_t retire_tokens_ = 0;  ///< next_task() calls that must return nullopt
   bool stopped_ = false;
   SchedulerCounters counters_;
 };

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/churn.hpp"
 #include "obs/metrics.hpp"
 #include "svc/job.hpp"
 #include "svc/job_server.hpp"
@@ -29,6 +30,9 @@ struct ServiceStats {
   SchedulerCounters scheduler;
   EngineCounters engine;
   JobServerCounters server;
+  /// Elastic-fleet ledger (lane joins/leaves from SolveEngine::resize plus
+  /// any substrate churn accounting merged in by the embedder).
+  fleet::FleetCounters fleet;
 
   /// Every non-terminal job, in id order (the live tenant view).
   std::vector<JobStatusInfo> tenants;

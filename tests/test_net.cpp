@@ -317,6 +317,12 @@ TEST(RemoteEndpoint, DroppedFramesTimeOutAndTheWorkerReconnects) {
   EXPECT_EQ(c.faults_dropped, 1u);
   EXPECT_EQ(c.round_trips_failed, 1u);
   // The deadline killed the channel; the worker must come back on its own.
+  // The failed trip is reported *before* the loop thread closes the carrier,
+  // so poll for the reconnect instead of racing the close.
+  const auto until = std::chrono::steady_clock::now() + 5s;
+  while (endpoint.counters().reconnects < 1 && std::chrono::steady_clock::now() < until) {
+    std::this_thread::sleep_for(10ms);
+  }
   EXPECT_TRUE(endpoint.wait_for_workers(1, 5s));
   EXPECT_GE(endpoint.counters().reconnects, 1u);
   endpoint.shutdown();

@@ -410,6 +410,39 @@ TEST(SvcEngine, RemoteFleetIsBitIdenticalToo) {
 
 // ---- server/client loopback ---------------------------------------------------------
 
+TEST(SvcEngine, ResizeGrowsAndShrinksTheLaneFleet) {
+  svc::EngineConfig config;
+  config.lanes = 2;
+  svc::SolveEngine engine(config);
+
+  EXPECT_EQ(engine.resize(4), 4u);
+  EXPECT_EQ(engine.lanes(), 4u);
+  fleet::FleetCounters fc = engine.fleet_counters();
+  EXPECT_EQ(fc.joins, 2u);
+  EXPECT_EQ(fc.leaves, 0u);
+
+  EXPECT_EQ(engine.resize(1), 1u);
+  EXPECT_EQ(engine.lanes(), 1u);
+  fc = engine.fleet_counters();
+  EXPECT_EQ(fc.joins, 2u);
+  EXPECT_EQ(fc.leaves, 3u);
+
+  // The shrunken fleet still serves jobs bit-exactly on its one lane.
+  svc::JobSpec spec;
+  spec.root = 2;
+  spec.level = 3;
+  const svc::JobTicket ticket = engine.submit(spec);
+  ASSERT_TRUE(ticket.accepted) << ticket.reason;
+  ASSERT_TRUE(engine.wait_terminal(ticket.job_id, 60s));
+  const svc::JobResultData result = engine.result(ticket.job_id);
+  ASSERT_EQ(result.state, svc::JobState::Done) << result.error;
+  EXPECT_EQ(result.combined_nodes, sequential_nodes(2, 3, 1e-3));
+
+  // Resizing to the current size is a no-op on the ledger.
+  EXPECT_EQ(engine.resize(1), 1u);
+  EXPECT_EQ(engine.fleet_counters().leaves, 3u);
+}
+
 TEST(SvcServer, SubmitPollFetchCancelOverTheWire) {
   svc::JobServerConfig config;
   config.engine.lanes = 3;
@@ -499,6 +532,46 @@ TEST(SvcServer, IdleConnectionsAreClosedByTheServer) {
   EXPECT_GE(server.counters().idle_closed, 1u);
 }
 
+TEST(SvcServer, InFlightJobKeepsAnIdleSessionAlive) {
+  // Regression: a client that submits a long job and then goes silent until
+  // the job is done used to be cut off by the idle timer mid-run.  An
+  // in-flight job now counts as session activity; the timer only resumes
+  // once every job the session submitted is terminal.
+  svc::JobServerConfig config;
+  config.engine.lanes = 1;
+  config.idle_timeout = 150ms;
+  svc::JobServer server(config);
+  svc::JobClient client("127.0.0.1", server.port());
+
+  // Big enough to straddle several idle windows, small enough that the one
+  // in-flight term a cancel cannot preempt resolves quickly even on a
+  // loaded machine.
+  svc::JobSpec slow;
+  slow.root = 3;
+  slow.level = 5;
+  slow.le_tol = 1e-4;
+  const svc::JobTicket ticket = client.submit(slow);
+  ASSERT_TRUE(ticket.accepted) << ticket.reason;
+
+  // Several idle windows of pure silence while the job runs: the session
+  // must survive them all.
+  std::this_thread::sleep_for(600ms);
+  EXPECT_EQ(server.counters().idle_closed, 0u);
+  const svc::JobStatusInfo mid = client.status(ticket.job_id);  // connection alive
+  EXPECT_TRUE(mid.known);
+  EXPECT_FALSE(svc::is_terminal(mid.state));
+
+  client.cancel(ticket.job_id);
+  const svc::JobStatusInfo done = client.wait_terminal(ticket.job_id, 120'000ms);
+  EXPECT_TRUE(svc::is_terminal(done.state));
+
+  // With the job terminal the idle timer is back in force.
+  std::this_thread::sleep_for(500ms);
+  EXPECT_THROW(client.ping(), svc::ClientError);
+  server.shutdown();
+  EXPECT_GE(server.counters().idle_closed, 1u);
+}
+
 TEST(SvcServer, NonServiceFramesAreConnectionFatal) {
   svc::JobServerConfig config;
   config.engine.lanes = 1;
@@ -539,6 +612,12 @@ svc::ServiceStats sample_stats() {
   s.server.sessions_opened = 5;
   s.server.frames_received = 60;
   s.server.pings = 7;
+  s.fleet.joins = 6;
+  s.fleet.leaves = 2;
+  s.fleet.crashes = 1;
+  s.fleet.steals = 4;
+  s.fleet.releases = 3;
+  s.fleet.duplicates = 1;
   svc::JobStatusInfo tenant;
   tenant.job_id = 3;
   tenant.known = true;
@@ -575,6 +654,10 @@ TEST(SvcStats, CodecRoundTripsEveryField) {
   EXPECT_EQ(s.scheduler.tasks_picked, 120u);
   EXPECT_EQ(s.engine.tasks_executed, 116u);
   EXPECT_EQ(s.server.pings, 7u);
+  EXPECT_EQ(s.fleet.joins, 6u);
+  EXPECT_EQ(s.fleet.crashes, 1u);
+  EXPECT_EQ(s.fleet.steals, 4u);
+  EXPECT_EQ(s.fleet.duplicates, 1u);
   ASSERT_EQ(s.tenants.size(), 1u);
   EXPECT_EQ(s.tenants[0].job_id, 3u);
   EXPECT_TRUE(s.tenants[0].known);
@@ -603,9 +686,13 @@ TEST(SvcStats, JsonAndPrometheusRenderings) {
   EXPECT_NE(json.find("\"tenants\":["), std::string::npos);
   EXPECT_NE(json.find("\"tag\":\"tenant-a\""), std::string::npos);
   EXPECT_NE(json.find("\"task_seconds\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"fleet\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"steals\":4"), std::string::npos);
 
   const std::string prom = svc::service_stats_prometheus(s);
   EXPECT_NE(prom.find("svc_busy_lanes 2"), std::string::npos);
+  EXPECT_NE(prom.find("svc_fleet_joins 6"), std::string::npos);
+  EXPECT_NE(prom.find("svc_fleet_steals 4"), std::string::npos);
   EXPECT_NE(prom.find("svc_tasks_executed 116"), std::string::npos);
   EXPECT_NE(prom.find("svc_tenant_terms_done{job=\"3\",tag=\"tenant-a\",state=\"running\"} 5"),
             std::string::npos);
