@@ -18,11 +18,28 @@
 // "pre-trajectory".
 #pragma once
 
+#include <ctime>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 namespace mg::bench {
+
+/// UTC ISO-8601 wall time, the default for benches when --timestamp is not
+/// given — append_bench_entry refuses empty timestamps, so "forgot the flag"
+/// degrades to a correct machine clock reading instead of an unusable entry.
+inline std::string default_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &now);
+#else
+  gmtime_r(&now, &tm);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
 
 inline std::string trajectory_escape(const std::string& s) {
   std::string out;
@@ -47,10 +64,16 @@ inline std::string trajectory_entry(const std::string& label, const std::string&
 }
 
 /// Appends one entry to the trajectory at `path`, creating or migrating the
-/// file as needed.  Returns false when the file cannot be (re)written.
+/// file as needed.  Returns false when the file cannot be (re)written, or
+/// when label/timestamp is empty — an unlabelled entry is useless in a
+/// committed time series (nothing says which tree or when), so the writer
+/// refuses it instead of burying a blank row.  The legacy-migration entry
+/// ("pre-trajectory") is the one sanctioned empty-timestamp case;
+/// check_bench.py flags it but accepts it.
 inline bool append_bench_entry(const std::string& path, const std::string& label,
                                const std::string& timestamp,
                                const std::string& report_json) {
+  if (label.empty() || timestamp.empty()) return false;
   static const char* kHeader = "{\"schema\":\"bench_trajectory\",\"schema_version\":1,\"entries\":[\n";
   static const char* kTrailer = "\n]}\n";
 

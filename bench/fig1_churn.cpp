@@ -117,6 +117,7 @@ int main(int argc, char** argv) {
     }
     std::printf("report written to %s\n", report_path.c_str());
   }
+  if (timestamp.empty()) timestamp = mg::bench::default_timestamp();
   if (!mg::bench::append_bench_entry(out_path, label, timestamp, report_json)) {
     std::fprintf(stderr, "fig1_churn: cannot write %s\n", out_path.c_str());
     return 1;

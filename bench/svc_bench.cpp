@@ -190,6 +190,7 @@ int main(int argc, char** argv) {
   report.derived().end_object();
   report.derived().end_object();
 
+  if (timestamp.empty()) timestamp = bench::default_timestamp();
   if (!bench::append_bench_entry(out_path, label, timestamp,
                                  report.json(obs::registry().snapshot()))) {
     std::fprintf(stderr, "svc_bench: cannot write %s\n", out_path.c_str());

@@ -103,6 +103,7 @@ int main(int argc, char** argv) {
                  "usage: sparse_grid_solver [root] [level] [le_tol] [--report=PATH]\n"
                  "         [--trace=PATH] [--faults=SPEC] [--churn=SPEC]\n"
                  "         [--backend=threads|tcp]\n"
+                 "         [--kernels=scalar|tiled] [--inner-threads=N]\n"
                  "         [--workers=N] [--listen=HOST:PORT] [--net-faults=SPEC]\n"
                  "       sparse_grid_solver --connect=HOST:PORT   (worker mode)\n");
     return 2;
@@ -112,6 +113,8 @@ int main(int argc, char** argv) {
   config.root = cli.root;
   config.level = cli.level;
   config.le_tol = cli.le_tol;
+  config.kernel.system.kernel_policy = cli.kernel_policy;
+  config.kernel.system.inner_threads = cli.inner_threads;
   const std::string& report_path = cli.report_path;
   const std::string& fault_spec = cli.fault_spec;
   const std::string& net_fault_spec = cli.net_fault_spec;

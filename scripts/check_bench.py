@@ -13,7 +13,15 @@ files accumulate a per-PR performance history.  CI runs this over both the
 committed files and the ones a fresh bench run just appended to, which also
 proves append keeps the document well-formed.
 
-Usage: check_bench.py FILE [FILE...]
+Usage: check_bench.py [--compare] FILE [FILE...]
+
+With --compare, the last two entries of each file are additionally diffed:
+any derived metric that degrades by more than 2x (a *_speedup / *_rate that
+halves, or a *_seconds that doubles) is reported as a non-fatal
+"::warning::" annotation (GitHub Actions renders these on the run page).
+Compare warnings never change the exit code — trajectories are measured on
+whatever machine ran the bench, so a regression is a flag to look at, not a
+gate.
 """
 
 import json
@@ -23,6 +31,11 @@ import sys
 def fail(path, msg):
     print(f"{path}: {msg}", file=sys.stderr)
     return 1
+
+
+def flag(path, msg):
+    """Non-fatal annotation (GitHub Actions ::warning:: syntax)."""
+    print(f"::warning::{path}: {msg}")
 
 
 FLEET_KEYS = ("joins", "leaves", "crashes", "steals", "releases", "duplicates")
@@ -64,7 +77,49 @@ def check_churn_report(path, where, report):
     return rc
 
 
-def check_file(path):
+def numeric_leaves(node, prefix=""):
+    """Dotted-path -> value for numeric leaves of nested dicts.  Arrays are
+    skipped: their elements are keyed by position, and two entries with
+    different configs (levels, kernel policies) would misalign."""
+    out = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            where = f"{prefix}.{key}" if prefix else key
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                out[where] = float(value)
+            elif isinstance(value, dict):
+                out.update(numeric_leaves(value, where))
+    return out
+
+
+def compare_last_two(path, entries):
+    """Warns (never fails) when a derived metric degrades >2x between the
+    last two entries.  Direction comes from the metric name: *_speedup and
+    *_rate are higher-is-better, *_seconds lower-is-better; anything else
+    is not compared (counts, iteration totals etc. have no fixed polarity)."""
+    if len(entries) < 2:
+        return
+    prev, last = entries[-2], entries[-1]
+    if not (isinstance(prev, dict) and isinstance(last, dict)):
+        return
+    before = numeric_leaves((prev.get("report") or {}).get("derived") or {})
+    after = numeric_leaves((last.get("report") or {}).get("derived") or {})
+    for metric in sorted(before.keys() & after.keys()):
+        old, new = before[metric], after[metric]
+        leaf = metric.rsplit(".", 1)[-1]
+        if leaf.endswith("speedup") or leaf.endswith("rate"):
+            if old > 0 and new < old / 2:
+                flag(path, f"{metric} degraded >2x between '{prev.get('label')}' and "
+                           f"'{last.get('label')}': {old:.4g} -> {new:.4g}")
+        elif leaf.endswith("seconds"):
+            if old > 0 and new > old * 2:
+                flag(path, f"{metric} degraded >2x between '{prev.get('label')}' and "
+                           f"'{last.get('label')}': {old:.4g}s -> {new:.4g}s")
+
+
+def check_file(path, compare=False):
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -91,8 +146,18 @@ def check_file(path):
         label = entry.get("label")
         if not isinstance(label, str) or not label:
             rc |= fail(path, f"{where}.label must be a non-empty string")
-        if not isinstance(entry.get("timestamp"), str):
+        timestamp = entry.get("timestamp")
+        if not isinstance(timestamp, str):
             rc |= fail(path, f"{where}.timestamp must be a string")
+        elif not timestamp:
+            # The legacy-migration entry predates timestamps; everything else
+            # must say when it was measured (bench_trajectory.hpp refuses
+            # empty timestamps at append time, so only old files hit this).
+            if label == "pre-trajectory":
+                flag(path, f"{where} ('pre-trajectory') has an empty timestamp "
+                           f"(accepted: legacy migration entry)")
+            else:
+                rc |= fail(path, f"{where}.timestamp must be non-empty")
         report = entry.get("report")
         if not isinstance(report, dict) or not report:
             rc |= fail(path, f"{where}.report must be a non-empty object")
@@ -101,16 +166,23 @@ def check_file(path):
     if rc == 0:
         labels = ", ".join(e["label"] for e in entries)
         print(f"{path}: ok ({len(entries)} entries: {labels})")
+    if compare and rc == 0:
+        compare_last_two(path, entries)
     return rc
 
 
 def main(argv):
-    if len(argv) < 2:
+    args = argv[1:]
+    compare = False
+    if args and args[0] == "--compare":
+        compare = True
+        args = args[1:]
+    if not args:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     rc = 0
-    for path in argv[1:]:
-        rc |= check_file(path)
+    for path in args:
+        rc |= check_file(path, compare=compare)
     return rc
 
 

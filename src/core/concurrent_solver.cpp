@@ -58,12 +58,11 @@ struct SharedGlobalState {
 /// Runs one pool: creates `count` workers starting at term index `first`,
 /// charges each with its grid, collects results (ThroughMaster only), and
 /// holds the rendezvous.  With `lpt`, grids go out heaviest-first.
-void run_pool(MasterApi& api, const transport::ProgramConfig& program,
+void run_pool(MasterApi& api, const transport::SubsolveConfig& kernel,
               const std::vector<grid::CombinationTerm>& terms, std::size_t first,
               std::size_t count, bool lpt, DataPath path, transport::GlobalData& data,
               std::vector<transport::GridRunRecord>& records) {
   api.create_pool();  // master step 3(a)
-  const transport::SubsolveConfig kernel = program.kernel_config();
   std::vector<std::size_t> order;
   if (lpt) {
     order = lpt_order(terms, first, count);
@@ -170,6 +169,12 @@ ConcurrentResult solve_concurrent(const transport::ProgramConfig& program,
         try {
         support::Stopwatch total;
         support::Stopwatch phase;
+        // Dispatch-level kernel overrides (within-grid parallelism): stamp
+        // the effective policy/team size into every outgoing work unit and
+        // into the degraded-pool local recompute path alike.
+        transport::SubsolveConfig kernel = program.kernel_config();
+        if (options.inner_threads > 0) kernel.system.inner_threads = options.inner_threads;
+        if (options.kernel_policy) kernel.system.kernel_policy = *options.kernel_policy;
         transport::GlobalData local_data(program.root, program.level);
         transport::GlobalData& data = shared ? shared->data : local_data;
         std::vector<transport::GridRunRecord> records(
@@ -182,12 +187,12 @@ ConcurrentResult solve_concurrent(const transport::ProgramConfig& program,
         if (options.pool_per_family && program.level >= 1) {
           // Family lm = level-1 occupies terms [0, level); lm = level the rest.
           const std::size_t lower = static_cast<std::size_t>(program.level);
-          run_pool(api, program, terms, 0, lower, options.lpt_schedule, options.data_path, data,
+          run_pool(api, kernel, terms, 0, lower, options.lpt_schedule, options.data_path, data,
                    records);
-          run_pool(api, program, terms, lower, terms.size() - lower, options.lpt_schedule,
+          run_pool(api, kernel, terms, lower, terms.size() - lower, options.lpt_schedule,
                    options.data_path, data, records);
         } else {
-          run_pool(api, program, terms, 0, terms.size(), options.lpt_schedule, options.data_path,
+          run_pool(api, kernel, terms, 0, terms.size(), options.lpt_schedule, options.data_path,
                    data, records);
         }
         api.finished();  // master step 4

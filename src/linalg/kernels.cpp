@@ -1,0 +1,25 @@
+#include "linalg/kernels.hpp"
+
+namespace mg::linalg {
+
+const char* to_string(KernelPolicy p) {
+  switch (p) {
+    case KernelPolicy::Scalar: return "scalar";
+    case KernelPolicy::Tiled: return "tiled";
+  }
+  return "unknown";
+}
+
+bool parse_kernel_policy(std::string_view text, KernelPolicy& out) {
+  if (text == "scalar") {
+    out = KernelPolicy::Scalar;
+    return true;
+  }
+  if (text == "tiled") {
+    out = KernelPolicy::Tiled;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace mg::linalg

@@ -1,0 +1,134 @@
+#include "linalg/parallel.hpp"
+
+#include <algorithm>
+
+namespace mg::linalg {
+
+namespace {
+
+/// Contiguous chunk c of [0, n) split into `chunks` near-equal pieces; the
+/// boundaries are a pure function of (n, chunks, c).
+struct ChunkRange {
+  std::size_t begin, end;
+};
+
+ChunkRange chunk_range(std::size_t n, std::size_t chunks, std::size_t c) {
+  const std::size_t q = n / chunks;
+  const std::size_t r = n % chunks;
+  const std::size_t begin = c * q + std::min(c, r);
+  return {begin, begin + q + (c < r ? 1 : 0)};
+}
+
+}  // namespace
+
+ParallelContext::ParallelContext(std::size_t team_size, Options opts)
+    : opts_(opts), leader_(std::this_thread::get_id()) {
+  if (team_size == 0) team_size = 1;
+  std::size_t helpers = team_size - 1;
+  if (!opts_.oversubscribe) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const std::size_t usable = hw > 1 ? static_cast<std::size_t>(hw) - 1 : 0;
+    helpers = std::min(helpers, usable);
+  }
+  helpers_.reserve(helpers);
+  for (std::size_t m = 1; m <= helpers; ++m) {
+    helpers_.emplace_back([this, m] { helper_loop(m); });
+  }
+}
+
+ParallelContext::~ParallelContext() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : helpers_) t.join();
+}
+
+void ParallelContext::helper_loop(std::size_t member) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+    }
+    run_chunks(member, job_chunks_);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ParallelContext::run_chunks(std::size_t member, std::size_t n_chunks) {
+  const std::size_t team = team_size();
+  for (std::size_t c = member; c < n_chunks; c += team) {
+    const ChunkRange r = chunk_range(job_n_, n_chunks, c);
+    if (r.begin == r.end) {
+      if (reduce_fn_) partials_[c] = 0.0;
+      continue;
+    }
+    if (reduce_fn_) {
+      partials_[c] = reduce_fn_(job_ctx_, r.begin, r.end);
+    } else {
+      range_fn_(job_ctx_, r.begin, r.end);
+    }
+  }
+}
+
+void ParallelContext::dispatch_and_wait(std::size_t n_chunks) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_chunks_ = n_chunks;
+    pending_ = helpers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  run_chunks(0, n_chunks);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void ParallelContext::run_range(std::size_t n, void* ctx, RangeFn fn) {
+  if (n == 0) return;
+  const bool inline_only = helpers_.empty() || std::this_thread::get_id() != leader_ ||
+                           n < opts_.min_items_per_worker * team_size();
+  if (inline_only) {
+    fn(ctx, 0, n);
+    return;
+  }
+  range_fn_ = fn;
+  reduce_fn_ = nullptr;
+  job_ctx_ = ctx;
+  job_n_ = n;
+  dispatch_and_wait(team_size());
+}
+
+double ParallelContext::run_reduce(std::size_t n, void* ctx, ReduceFn fn) {
+  if (n == 0) return 0.0;
+  range_fn_ = nullptr;
+  reduce_fn_ = fn;
+  job_ctx_ = ctx;
+  job_n_ = n;
+  const bool inline_only = helpers_.empty() || std::this_thread::get_id() != leader_ ||
+                           n < opts_.min_items_per_worker * team_size();
+  if (inline_only) {
+    // Same fixed chunking as the threaded path: the combination tree is a
+    // function of kReduceChunks alone, so team size (including 1) is
+    // invisible in the result.
+    for (std::size_t c = 0; c < kReduceChunks; ++c) {
+      const ChunkRange r = chunk_range(n, kReduceChunks, c);
+      partials_[c] = r.begin == r.end ? 0.0 : fn(ctx, r.begin, r.end);
+    }
+  } else {
+    dispatch_and_wait(kReduceChunks);
+  }
+  double s = 0.0;
+  for (std::size_t c = 0; c < kReduceChunks; ++c) s += partials_[c];
+  reduce_fn_ = nullptr;
+  return s;
+}
+
+}  // namespace mg::linalg

@@ -1,0 +1,115 @@
+// Inner worker team with a chunk-deterministic barrier.
+//
+// A ParallelContext owns team_size - 1 helper threads parked on a condition
+// variable.  parallel_for() splits an index range into contiguous chunks and
+// assigns chunk c to team member c — the assignment is a pure function of the
+// chunk index, never of thread arrival order, so a run is reproducible at any
+// team size for element-wise work (disjoint output slots).  reduce() extends
+// the same discipline to accumulations: partial sums land in chunk-indexed
+// slots and the *leader* combines them in ascending chunk index over a fixed
+// chunk count, so the reduction tree is identical whether the team has 1, 2
+// or 8 threads.
+//
+// The solver hot paths only hand the team reduction-free regions (row
+// partitions of SpMV, fused triads) — that is what keeps Tiled bitwise equal
+// to Scalar (see kernels.hpp); reduce() exists for callers that want
+// team-size-invariant (but not scalar-chain) sums, and for the TSAN barrier
+// hammer in tests/test_kernels.cpp.
+//
+// Work below min_items_per_worker per helper, or any call from a thread other
+// than the constructing (leader) thread, runs inline on the caller — by
+// construction this cannot change results, only where they are computed.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace mg::linalg {
+
+struct ParallelOptions {
+  /// Ranges smaller than this per team member run inline on the leader —
+  /// cross-thread dispatch costs ~µs and must not dominate small kernels.
+  std::size_t min_items_per_worker = 8192;
+  /// Spawn helper threads even when the host reports a single hardware
+  /// thread.  Tests use this to exercise real cross-thread execution
+  /// anywhere; production paths leave it off so a 1-core box never pays
+  /// for oversubscribed helpers.
+  bool oversubscribe = false;
+};
+
+class ParallelContext {
+ public:
+  using Options = ParallelOptions;
+
+  /// Fixed number of chunk-indexed partial slots used by reduce(), chosen
+  /// once so the combination tree never depends on team size.
+  static constexpr std::size_t kReduceChunks = 16;
+
+  /// A team of `team_size` members including the calling thread; helpers are
+  /// spawned immediately and parked.  team_size == 0 is treated as 1.
+  explicit ParallelContext(std::size_t team_size, Options opts = {});
+  ~ParallelContext();
+
+  ParallelContext(const ParallelContext&) = delete;
+  ParallelContext& operator=(const ParallelContext&) = delete;
+
+  /// Members actually executing work (1 when helpers were elided).
+  std::size_t team_size() const { return helpers_.size() + 1; }
+
+  /// Runs fn(begin, end) over disjoint contiguous chunks covering [0, n).
+  /// Chunk c belongs to team member c; the leader runs chunk 0 and then
+  /// blocks on the barrier until every helper chunk is done.
+  template <typename F>
+  void parallel_for(std::size_t n, F&& fn) {
+    using Fn = std::remove_reference_t<F>;
+    run_range(n, const_cast<Fn*>(&fn),
+              [](void* ctx, std::size_t b, std::size_t e) { (*static_cast<Fn*>(ctx))(b, e); });
+  }
+
+  /// Chunk-deterministic sum: fn(begin, end) returns the partial for one of
+  /// kReduceChunks fixed chunks; partials are combined left-to-right by chunk
+  /// index on the leader.  Identical result at any team size.
+  template <typename F>
+  double reduce(std::size_t n, F&& fn) {
+    using Fn = std::remove_reference_t<F>;
+    return run_reduce(n, const_cast<Fn*>(&fn), [](void* ctx, std::size_t b, std::size_t e) {
+      return (*static_cast<Fn*>(ctx))(b, e);
+    });
+  }
+
+ private:
+  using RangeFn = void (*)(void*, std::size_t, std::size_t);
+  using ReduceFn = double (*)(void*, std::size_t, std::size_t);
+
+  void run_range(std::size_t n, void* ctx, RangeFn fn);
+  double run_reduce(std::size_t n, void* ctx, ReduceFn fn);
+  void helper_loop(std::size_t member);
+  void dispatch_and_wait(std::size_t n_chunks);
+  void run_chunks(std::size_t member, std::size_t n_chunks);
+
+  Options opts_;
+  std::thread::id leader_;
+  std::vector<std::thread> helpers_;
+
+  // Job slot, published under mutex_ with a generation bump.
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  bool stopping_ = false;
+  std::size_t pending_ = 0;  // helpers still working on the current job
+
+  // Current job description (valid while pending_ > 0 or leader is running).
+  RangeFn range_fn_ = nullptr;
+  ReduceFn reduce_fn_ = nullptr;
+  void* job_ctx_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::size_t job_chunks_ = 0;
+  double partials_[kReduceChunks] = {};
+};
+
+}  // namespace mg::linalg

@@ -38,6 +38,9 @@ const char* to_string(StageSolverKind k) {
 
 TransportSystem::TransportSystem(grid::Grid2D grid, TransportProblem problem, SystemOptions options)
     : grid_(grid), problem_(problem), options_(options) {
+  if (options_.inner_threads > 1) {
+    inner_team_ = std::make_unique<linalg::ParallelContext>(options_.inner_threads);
+  }
   assemble();
 }
 
@@ -123,7 +126,7 @@ void TransportSystem::rhs(double t, const ros::Vec& u, ros::Vec& f) {
     koren_rhs(grid_, problem_, nodal_scratch_, f);
     return;
   }
-  jacobian_.multiply(u, f);
+  jacobian_.multiply(u, f, kernel_context());
   for (const auto& bc : boundary_couplings_) {
     f[bc.row] += bc.coefficient * problem_.exact(bc.bx, bc.by, t);
   }
@@ -134,12 +137,14 @@ namespace {
 class BandedStageSolver final : public ros::StageSolver {
  public:
   /// Seed path: takes a fully formed band and factorises it.
-  explicit BandedStageSolver(linalg::BandedMatrix matrix) : matrix_(std::move(matrix)) {
+  BandedStageSolver(linalg::BandedMatrix matrix, linalg::KernelContext kctx)
+      : matrix_(std::move(matrix)), kctx_(kctx) {
     factorize();
   }
 
   /// Cached path: allocates the band storage once; refresh() fills it.
-  BandedStageSolver(std::size_t n, std::size_t half_bandwidth) : matrix_(n, half_bandwidth) {}
+  BandedStageSolver(std::size_t n, std::size_t half_bandwidth, linalg::KernelContext kctx)
+      : matrix_(n, half_bandwidth), kctx_(kctx) {}
 
   /// Rewrites the band as (I - gamma_h * J) and refactorises, all in the
   /// storage allocated at construction.
@@ -159,19 +164,20 @@ class BandedStageSolver final : public ros::StageSolver {
  private:
   void factorize() {
     support::Stopwatch clock;
-    matrix_.factorize();
+    matrix_.factorize(kctx_);
     stage_metrics().factor_seconds.observe(clock.elapsed_seconds());
   }
 
   linalg::BandedMatrix matrix_;
+  linalg::KernelContext kctx_;
 };
 
 class KrylovStageSolver final : public ros::StageSolver {
  public:
   KrylovStageSolver(linalg::CsrMatrix matrix, linalg::PrecondKind precond,
-                    linalg::SolveOptions opts, bool warm_start)
+                    linalg::SolveOptions opts, bool warm_start, linalg::KernelContext kctx)
       : matrix_(std::move(matrix)), precond_kind_(precond), opts_(opts),
-        warm_start_(warm_start) {
+        warm_start_(warm_start), kctx_(kctx) {
     build_preconditioner();
   }
 
@@ -197,7 +203,7 @@ class KrylovStageSolver final : public ros::StageSolver {
     // this step's k1 for stage 2) unless warm starts are disabled.
     if (!warm_start_ || x.size() != matrix_.rows()) x.assign(matrix_.rows(), 0.0);
     support::Stopwatch clock;
-    const auto report = linalg::bicgstab(matrix_, rhs, x, *precond_, opts_, &workspace_);
+    const auto report = linalg::bicgstab(matrix_, rhs, x, *precond_, opts_, &workspace_, kctx_);
     stage_metrics().solve_seconds.observe(clock.elapsed_seconds());
     if (!report.converged) {
       throw std::runtime_error("TransportSystem: BiCGSTAB failed to converge (residual " +
@@ -216,6 +222,7 @@ class KrylovStageSolver final : public ros::StageSolver {
   linalg::PrecondKind precond_kind_;
   linalg::SolveOptions opts_;
   bool warm_start_;
+  linalg::KernelContext kctx_;
   std::unique_ptr<linalg::Preconditioner> precond_;
   linalg::KrylovWorkspace workspace_;
 };
@@ -251,12 +258,13 @@ std::unique_ptr<ros::StageSolver> TransportSystem::rebuild_stage(double gamma_h)
   switch (options_.solver) {
     case StageSolverKind::BandedLU:
       return std::make_unique<BandedStageSolver>(
-          linalg::BandedMatrix::from_csr(stage, grid_.interior_x()));
+          linalg::BandedMatrix::from_csr(stage, grid_.interior_x()), kernel_context());
     case StageSolverKind::BiCgStabIlu0:
     case StageSolverKind::BiCgStabJacobi:
       return std::make_unique<KrylovStageSolver>(std::move(stage),
                                                  precond_kind_for(options_.solver),
-                                                 options_.krylov, options_.warm_start);
+                                                 options_.krylov, options_.warm_start,
+                                                 kernel_context());
   }
   throw std::logic_error("TransportSystem: unknown solver kind");
 }
@@ -291,8 +299,8 @@ std::unique_ptr<ros::StageSolver> TransportSystem::prepare_stage(double /*t*/, c
   switch (options_.solver) {
     case StageSolverKind::BandedLU: {
       if (!cached_solver_) {
-        cached_solver_ =
-            std::make_shared<BandedStageSolver>(dimension(), grid_.interior_x());
+        cached_solver_ = std::make_shared<BandedStageSolver>(dimension(), grid_.interior_x(),
+                                                             kernel_context());
       }
       static_cast<BandedStageSolver&>(*cached_solver_).refresh(jacobian_, gamma_h);
       break;
@@ -309,7 +317,7 @@ std::unique_ptr<ros::StageSolver> TransportSystem::prepare_stage(double /*t*/, c
         stage_metrics().assemble_seconds.observe(assemble_clock.elapsed_seconds());
         cached_solver_ = std::make_shared<KrylovStageSolver>(
             std::move(stage), precond_kind_for(options_.solver), options_.krylov,
-            options_.warm_start);
+            options_.warm_start, kernel_context());
       } else {
         static_cast<KrylovStageSolver&>(*cached_solver_)
             .refresh(jacobian_, diag_offset_, gamma_h);
