@@ -8,7 +8,7 @@
 //   sparse_grid_solver [root] [level] [le_tol] [--report=PATH] [--trace=PATH]
 //                      [--faults=SPEC]
 //                      [--backend=threads|tcp] [--workers=N] [--listen=HOST:PORT]
-//                      [--connect=HOST:PORT] [--net-faults=SPEC]
+//                      [--pipeline=N] [--connect=HOST:PORT] [--net-faults=SPEC]
 //
 // --report=PATH additionally writes a JSON run report: both solves' wall
 // times, the per-grid records, the bit-exactness diff, the accuracy numbers,
@@ -104,7 +104,8 @@ int main(int argc, char** argv) {
                  "         [--trace=PATH] [--faults=SPEC] [--churn=SPEC]\n"
                  "         [--backend=threads|tcp]\n"
                  "         [--kernels=scalar|tiled] [--inner-threads=N]\n"
-                 "         [--workers=N] [--listen=HOST:PORT] [--net-faults=SPEC]\n"
+                 "         [--workers=N] [--listen=HOST:PORT] [--pipeline=N]\n"
+                 "         [--net-faults=SPEC]\n"
                  "       sparse_grid_solver --connect=HOST:PORT   (worker mode)\n");
     return 2;
   }
@@ -211,6 +212,7 @@ int main(int argc, char** argv) {
   std::unique_ptr<net::RemoteEndpoint> endpoint;
   if (tcp) {
     net::RemoteEndpointConfig ep_config;
+    if (cli.pipeline_depth > 0) ep_config.elastic.pipeline_depth = cli.pipeline_depth;
     if (!net_fault_spec.empty()) {
       net_plan = std::make_unique<const fault::FaultPlan>(fault::parse_fault_spec(net_fault_spec));
       ep_config.faults = net_plan.get();
@@ -243,6 +245,7 @@ int main(int argc, char** argv) {
       return 3;
     }
     options.remote = endpoint.get();
+    options.pipeline_depth = cli.pipeline_depth;  // 0 = endpoint default
   } else if (churn_on) {
     options.churn = churn_cfg;
     std::printf("\nchurn on (threads pool): seed=%llu joins=%zu leaves=%zu crashes=%zu "

@@ -77,6 +77,38 @@ def check_churn_report(path, where, report):
     return rc
 
 
+NET_DEPTH_KEYS = ("wall_seconds", "round_trip_rate", "dispatch_stall_seconds")
+
+
+def check_net_report(path, where, report):
+    """net_bench entries carry per-depth timings and the headline depth-4 /
+    depth-1 throughput ratio; the pipelined transport's acceptance evidence
+    lives here, so the shape is part of the schema."""
+    rc = 0
+    derived = report.get("derived")
+    if not isinstance(derived, dict):
+        return fail(path, f"{where}.report.derived must be an object")
+    for depth in ("depth1", "depth4"):
+        timing = derived.get(depth)
+        if not isinstance(timing, dict):
+            rc |= fail(path, f"{where}.report.derived.{depth} must be an object")
+            continue
+        for key in NET_DEPTH_KEYS:
+            value = timing.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+                rc |= fail(path, f"{where}.report.derived.{depth}.{key} must be a "
+                                 f"non-negative number")
+        trips = timing.get("round_trips")
+        if not isinstance(trips, int) or trips <= 0:
+            rc |= fail(path, f"{where}.report.derived.{depth}.round_trips must be a "
+                             f"positive integer")
+    speedup = derived.get("pipelined_speedup")
+    if not isinstance(speedup, (int, float)) or isinstance(speedup, bool) or speedup <= 0:
+        rc |= fail(path, f"{where}.report.derived.pipelined_speedup must be a "
+                         f"positive number")
+    return rc
+
+
 def numeric_leaves(node, prefix=""):
     """Dotted-path -> value for numeric leaves of nested dicts.  Arrays are
     skipped: their elements are keyed by position, and two entries with
@@ -163,6 +195,8 @@ def check_file(path, compare=False):
             rc |= fail(path, f"{where}.report must be a non-empty object")
         elif report.get("tool") == "fig1_churn":
             rc |= check_churn_report(path, where, report)
+        elif report.get("tool") == "net_bench":
+            rc |= check_net_report(path, where, report)
     if rc == 0:
         labels = ", ".join(e["label"] for e in entries)
         print(f"{path}: ok ({len(entries)} entries: {labels})")

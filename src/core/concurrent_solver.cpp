@@ -7,6 +7,7 @@
 
 #include "core/marshal.hpp"
 #include "core/master.hpp"
+#include "net/remote.hpp"
 #include "obs/metrics.hpp"
 #include "core/remote_worker.hpp"
 #include "core/worker.hpp"
@@ -274,6 +275,7 @@ ConcurrentResult solve_concurrent(const transport::ProgramConfig& program,
   std::shared_ptr<InjectionStats> injections;
   if (options.remote != nullptr) {
     MG_REQUIRE(options.data_path == DataPath::ThroughMaster);
+    if (options.pipeline_depth > 0) options.remote->set_pipeline_depth(options.pipeline_depth);
     factory = make_remote_worker_factory(*options.remote, run_options.retry.has_value());
   } else if (run_options.retry) {
     auto plan = options.faults.any()

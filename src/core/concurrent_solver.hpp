@@ -113,6 +113,12 @@ struct ConcurrentOptions {
   /// Kernel-policy override for dispatch, same precedence rule as
   /// `inner_threads` (unset = inherit the program's kernel config).
   std::optional<linalg::KernelPolicy> kernel_policy;
+  /// Transport pipeline window override: when > 0 and `remote` is set, the
+  /// endpoint is told to keep up to this many seq-tagged work units in
+  /// flight per channel (RemoteEndpoint::set_pipeline_depth).  0 leaves the
+  /// endpoint's configured depth alone.  Any value is bit-identical — the
+  /// window only reorders wire traffic, never results (DESIGN.md §15).
+  std::uint32_t pipeline_depth = 0;
 };
 
 struct ConcurrentResult {

@@ -4,14 +4,13 @@
 #include <poll.h>
 #include <unistd.h>
 
-#include <algorithm>
 #include <cerrno>
 
 #include "support/check.hpp"
 
 namespace mg::net {
 
-EventLoop::EventLoop() {
+EventLoop::EventLoop(PollerBackend backend) : backend_(backend) {
   MG_REQUIRE(::pipe(wake_fds_) == 0);
   for (int fd : wake_fds_) {
     const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -58,7 +57,8 @@ std::uint64_t EventLoop::post_after(std::chrono::milliseconds delay, std::functi
   {
     std::lock_guard<std::mutex> lock(mutex_);
     id = next_timer_id_++;
-    timers_.push_back({std::chrono::steady_clock::now() + delay, id, std::move(fn)});
+    timers_.push(Timer{std::chrono::steady_clock::now() + delay, id, std::move(fn)});
+    live_timers_.insert(id);
   }
   wake();
   return id;
@@ -66,23 +66,33 @@ std::uint64_t EventLoop::post_after(std::chrono::milliseconds delay, std::functi
 
 void EventLoop::cancel_timer(std::uint64_t id) {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::erase_if(timers_, [id](const Timer& t) { return t.id == id; });
+  // Lazy cancellation: the heap entry stays where it is and is discarded
+  // when it surfaces at the top.  Only live ids enter cancelled_, so a
+  // stale cancel (timer already fired) can't grow the set.
+  if (live_timers_.count(id) != 0) cancelled_.insert(id);
 }
 
 void EventLoop::watch(int fd, short events, IoCallback cb) {
   MG_REQUIRE(on_loop_thread());
   watches_[fd] = Watch{events, std::move(cb)};
+  poller_->add(fd, events);
 }
 
 void EventLoop::modify(int fd, short events) {
   MG_REQUIRE(on_loop_thread());
   const auto it = watches_.find(fd);
-  if (it != watches_.end()) it->second.events = events;
+  if (it == watches_.end()) return;
+  it->second.events = events;
+  poller_->modify(fd, events);
 }
 
 void EventLoop::unwatch(int fd) {
   MG_REQUIRE(on_loop_thread());
-  watches_.erase(fd);
+  if (watches_.erase(fd) != 0) poller_->remove(fd);
+}
+
+const char* EventLoop::poller_name() const {
+  return resolved_poller_name_.load(std::memory_order_acquire);
 }
 
 void EventLoop::wake() {
@@ -97,13 +107,12 @@ void EventLoop::drain_posted() {
     std::lock_guard<std::mutex> lock(mutex_);
     run_now.swap(posted_);
     const auto now = std::chrono::steady_clock::now();
-    for (auto it = timers_.begin(); it != timers_.end();) {
-      if (it->due <= now) {
-        due_timers.push_back(std::move(it->fn));
-        it = timers_.erase(it);
-      } else {
-        ++it;
-      }
+    while (!timers_.empty() && timers_.top().due <= now) {
+      Timer t = std::move(const_cast<Timer&>(timers_.top()));
+      timers_.pop();
+      live_timers_.erase(t.id);
+      if (cancelled_.erase(t.id) != 0) continue;
+      due_timers.push_back(std::move(t.fn));
     }
   }
   for (auto& fn : run_now) fn();
@@ -113,9 +122,14 @@ void EventLoop::drain_posted() {
 int EventLoop::next_poll_timeout_ms() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!posted_.empty()) return 0;
+  // Shed cancelled entries off the top so they can't shorten the sleep.
+  while (!timers_.empty() && cancelled_.count(timers_.top().id) != 0) {
+    cancelled_.erase(timers_.top().id);
+    live_timers_.erase(timers_.top().id);
+    timers_.pop();
+  }
   if (timers_.empty()) return -1;
-  auto earliest = timers_.front().due;
-  for (const Timer& t : timers_) earliest = std::min(earliest, t.due);
+  const auto earliest = timers_.top().due;
   const auto now = std::chrono::steady_clock::now();
   if (earliest <= now) return 0;
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(earliest - now);
@@ -125,44 +139,42 @@ int EventLoop::next_poll_timeout_ms() {
 
 void EventLoop::run() {
   loop_thread_id_.store(std::this_thread::get_id(), std::memory_order_release);
-  std::vector<pollfd> pfds;
-  std::vector<int> fds;
+  // Fresh poller per start() so a stop/start cycle resets the interest set.
+  poller_ = make_poller(backend_);
+  resolved_poller_name_.store(poller_->name(), std::memory_order_release);
+  poller_->add(wake_fds_[0], POLLIN);
+
+  std::vector<PollerEvent> events;
   while (!stop_requested_.load(std::memory_order_acquire)) {
     drain_posted();
     if (stop_requested_.load(std::memory_order_acquire)) break;
 
-    pfds.clear();
-    fds.clear();
-    pfds.push_back(pollfd{wake_fds_[0], POLLIN, 0});
-    for (const auto& [fd, w] : watches_) {
-      pfds.push_back(pollfd{fd, w.events, 0});
-      fds.push_back(fd);
+    int rc = 0;
+    try {
+      rc = poller_->wait(events, next_poll_timeout_ms());
+    } catch (const std::exception&) {
+      break;  // unrecoverable poller failure: shut the loop down
     }
 
-    const int rc = ::poll(pfds.data(), pfds.size(), next_poll_timeout_ms());
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      break;  // unrecoverable poll failure: shut the loop down
-    }
-
-    if (pfds[0].revents & POLLIN) {
-      char buf[64];
-      while (::read(wake_fds_[0], buf, sizeof buf) > 0) {
+    for (int i = 0; i < rc; ++i) {
+      const PollerEvent& ev = events[static_cast<std::size_t>(i)];
+      if (ev.fd == wake_fds_[0]) {
+        char buf[64];
+        while (::read(wake_fds_[0], buf, sizeof buf) > 0) {
+        }
+        continue;
       }
-    }
-
-    // Callbacks may watch/unwatch freely: we snapshotted the fd list, and
-    // re-check membership before each dispatch.
-    for (std::size_t i = 0; i < fds.size(); ++i) {
-      const short revents = pfds[i + 1].revents;
-      if (revents == 0) continue;
-      const auto it = watches_.find(fds[i]);
+      // Callbacks may watch/unwatch freely: membership is re-checked per
+      // dispatch, and the callback is copied in case it unwatches itself.
+      const auto it = watches_.find(ev.fd);
       if (it == watches_.end()) continue;
-      IoCallback cb = it->second.cb;  // copy: the callback may unwatch itself
-      cb(revents);
+      IoCallback cb = it->second.cb;
+      cb(ev.revents);
     }
   }
   drain_posted();  // run final posted closures (shutdown cleanup)
+  poller_.reset();
+  resolved_poller_name_.store("unstarted", std::memory_order_release);
   loop_thread_id_.store(std::thread::id{}, std::memory_order_release);
 }
 

@@ -59,9 +59,10 @@ const char* to_string(FrameType t) {
   return "?";
 }
 
-std::vector<std::uint8_t> encode_frame(FrameType type, std::uint64_t seq,
-                                       const std::uint8_t* payload, std::size_t payload_size) {
-  std::vector<std::uint8_t> out(FrameHeader::kWireSize + payload_size);
+std::vector<std::uint8_t> encode_frame_header(FrameType type, std::uint64_t seq,
+                                              const std::uint8_t* payload,
+                                              std::size_t payload_size) {
+  std::vector<std::uint8_t> out(FrameHeader::kWireSize);
   std::uint8_t* h = out.data();
   put_u32(h + 0, FrameHeader::kMagic);
   put_u16(h + 4, FrameHeader::kVersion);
@@ -70,6 +71,13 @@ std::vector<std::uint8_t> encode_frame(FrameType type, std::uint64_t seq,
   put_u32(h + 16, static_cast<std::uint32_t>(payload_size));
   put_u32(h + 20, crc32(payload, payload_size));
   put_u32(h + 24, crc32(h, 24));
+  return out;
+}
+
+std::vector<std::uint8_t> encode_frame(FrameType type, std::uint64_t seq,
+                                       const std::uint8_t* payload, std::size_t payload_size) {
+  std::vector<std::uint8_t> out = encode_frame_header(type, seq, payload, payload_size);
+  out.resize(FrameHeader::kWireSize + payload_size);
   if (payload_size > 0) std::memcpy(out.data() + FrameHeader::kWireSize, payload, payload_size);
   return out;
 }

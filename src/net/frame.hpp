@@ -84,6 +84,14 @@ std::vector<std::uint8_t> encode_frame(FrameType type, std::uint64_t seq,
 std::vector<std::uint8_t> encode_frame(FrameType type, std::uint64_t seq,
                                        const std::vector<std::uint8_t>& payload);
 
+/// Serialises only the 28-byte header for a payload that will travel as its
+/// own buffer (scatter-gather send: header iovec + payload iovec, no
+/// concatenation copy).  The payload bytes are still read here — both CRCs
+/// cover them — but never copied.
+std::vector<std::uint8_t> encode_frame_header(FrameType type, std::uint64_t seq,
+                                              const std::uint8_t* payload,
+                                              std::size_t payload_size);
+
 /// Incremental frame reassembly over a byte stream.  feed() appends raw
 /// received bytes; next() yields complete frames in order, or nullopt when
 /// more bytes are needed.  Throws FrameError on a corrupt stream — the

@@ -1,6 +1,7 @@
 #include "net/remote.hpp"
 
 #include <poll.h>
+#include <sys/uio.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -47,8 +48,10 @@ struct NetMetrics {
   obs::Counter& telemetry_batches;
   obs::Counter& telemetry_spans;
   obs::Counter& telemetry_rejected;
+  obs::Counter& dispatch_stall_micros;
   obs::Gauge& clock_offset_seconds;
   obs::Histogram& round_trip_seconds;
+  obs::Histogram& dispatch_stall_seconds;
 };
 
 NetMetrics& net_metrics() {
@@ -69,8 +72,10 @@ NetMetrics& net_metrics() {
       obs::registry().counter("net.telemetry_batches"),
       obs::registry().counter("net.telemetry_spans"),
       obs::registry().counter("net.telemetry_rejected"),
+      obs::registry().counter("net.dispatch_stall_micros"),
       obs::registry().gauge("net.clock_offset_seconds"),
       obs::registry().histogram("net.round_trip_seconds", obs::default_latency_buckets()),
+      obs::registry().histogram("net.dispatch_stall_seconds", obs::default_latency_buckets()),
   };
   return m;
 }
@@ -114,6 +119,7 @@ struct RemoteEndpoint::CounterCells {
   std::atomic<std::uint64_t> telemetry_batches{0};
   std::atomic<std::uint64_t> telemetry_spans{0};
   std::atomic<std::uint64_t> telemetry_rejected{0};
+  std::atomic<std::uint64_t> dispatch_stall_micros{0};
   std::atomic<std::uint64_t> fleet_joins{0};
   std::atomic<std::uint64_t> fleet_leaves{0};
   std::atomic<std::uint64_t> fleet_crashes{0};
@@ -135,6 +141,8 @@ struct RemoteEndpoint::Trip {
   /// a speculative re-lease put a second copy in flight; empty = queued.
   std::vector<std::uint64_t> carriers;
   bool speculated = false;  ///< one speculative re-lease per trip
+  std::chrono::steady_clock::time_point queued_at{};  ///< round_trip submission time
+  bool dispatched = false;  ///< loop thread: first dispatch happened (stall accounted)
 
   // Telemetry (loop thread): set when a trace context was prepended to the
   // Work payload — the Result is then a telemetry envelope.
@@ -148,21 +156,30 @@ struct RemoteEndpoint::Trip {
 };
 
 struct RemoteEndpoint::Channel {
+  /// One seq-tagged work unit on the wire.  Each dispatch keeps the seq of
+  /// its own send, so a speculative copy racing on another channel has a
+  /// different seq than the original — completion is matched per lease, in
+  /// any order, never per channel.
+  struct Lease {
+    std::shared_ptr<Trip> trip;
+    std::chrono::steady_clock::time_point sent_at{};
+  };
+
   std::uint64_t id = 0;
   Socket sock;
   FrameDecoder decoder;
   bool hello_seen = false;
   std::uint64_t worker_pid = 0;
-  std::vector<std::uint8_t> outbox;  ///< unsent tx bytes (partial writes)
-  std::size_t out_off = 0;
-  std::shared_ptr<Trip> active;      ///< in-flight round trip, if any
-  /// Seq this channel expects on its next Result/Error.  Distinct from
-  /// trip->seq once a speculative copy is in flight elsewhere (each carrier
-  /// keeps the seq of its own send).
-  std::uint64_t active_seq = 0;
-  std::chrono::steady_clock::time_point sent_at{};  ///< active dispatch time
-  /// Elastic: work leased to this channel but not yet on the wire (the
-  /// channel serves one frame at a time); what idle joiners steal from.
+  /// Per-connection write queue: one buffer per frame header and one per
+  /// payload (never concatenated), flushed with a scatter-gather sendmsg so
+  /// back-to-back small frames coalesce into one syscall.
+  std::deque<std::vector<std::uint8_t>> outbox;
+  std::size_t out_off = 0;  ///< bytes of outbox.front() already sent
+  /// Work units on the wire, keyed by seq (ascending = dispatch order).  Up
+  /// to pipeline_depth entries; Results may land in any order.
+  std::map<std::uint64_t, Lease> in_flight;
+  /// Elastic: work leased to this channel but not yet on the wire; what
+  /// idle joiners steal from.
   std::deque<std::shared_ptr<Trip>> backlog;
 
   // Telemetry: per-connection clock alignment + the trace track all of this
@@ -178,9 +195,11 @@ struct RemoteEndpoint::Channel {
 RemoteEndpoint::RemoteEndpoint(TcpListener listener, RemoteEndpointConfig config)
     : config_(config),
       listener_(std::move(listener)),
+      loop_(config.poller),
       counters_(std::make_unique<CounterCells>()) {
   MG_REQUIRE(listener_.valid());
   port_ = listener_.port();
+  set_pipeline_depth(config_.elastic.pipeline_depth);
   static std::atomic<std::uint64_t> endpoint_ordinal{0};
   trace_id_ = (static_cast<std::uint64_t>(::getpid()) << 16) ^
               endpoint_ordinal.fetch_add(1, std::memory_order_relaxed);
@@ -189,6 +208,16 @@ RemoteEndpoint::RemoteEndpoint(TcpListener listener, RemoteEndpointConfig config
 }
 
 RemoteEndpoint::~RemoteEndpoint() { shutdown(); }
+
+void RemoteEndpoint::set_pipeline_depth(std::size_t depth) {
+  pipeline_depth_.store(std::clamp<std::size_t>(depth, 1, 64), std::memory_order_release);
+}
+
+const char* RemoteEndpoint::poller_name() const { return loop_.poller_name(); }
+
+bool RemoteEndpoint::dedup_enabled() const {
+  return config_.elastic.enabled || pipeline_depth_.load(std::memory_order_acquire) > 1;
+}
 
 void RemoteEndpoint::setup_on_loop() {
   // Blocking while single-threaded (fork-friendly), non-blocking once polled:
@@ -215,24 +244,29 @@ void RemoteEndpoint::speculate() {
   const auto now = std::chrono::steady_clock::now();
   for (;;) {
     Channel* idle = nullptr;
-    Channel* overdue = nullptr;
+    std::shared_ptr<Trip> overdue;  // copy: the original carrier keeps racing
+    std::chrono::steady_clock::time_point overdue_at{};
     for (auto& [id, ch] : channels_) {
       if (!ch->hello_seen) continue;
-      if (!ch->active) {
-        if (ch->backlog.empty() && idle == nullptr) idle = ch.get();
+      if (ch->in_flight.empty() && ch->backlog.empty()) {
+        if (idle == nullptr) idle = ch.get();
         continue;
       }
-      if (!ch->active->speculated && now - ch->sent_at >= config_.elastic.soft_deadline &&
-          !trip_done(ch->active) &&
-          (overdue == nullptr || ch->sent_at < overdue->sent_at)) {
-        overdue = ch.get();
+      for (const auto& [seq, lease] : ch->in_flight) {
+        if (lease.trip->speculated || now - lease.sent_at < config_.elastic.soft_deadline ||
+            trip_done(lease.trip)) {
+          continue;
+        }
+        if (overdue == nullptr || lease.sent_at < overdue_at) {
+          overdue = lease.trip;
+          overdue_at = lease.sent_at;
+        }
       }
     }
     if (idle == nullptr || overdue == nullptr) return;
-    auto trip = overdue->active;  // copy: the original carrier keeps racing
-    trip->speculated = true;
+    overdue->speculated = true;
     counters_->bump(counters_->fleet_releases, fleet_net_metrics().releases);
-    dispatch(*idle, std::move(trip));
+    dispatch(*idle, std::move(overdue));
   }
 }
 
@@ -333,21 +367,24 @@ void RemoteEndpoint::handle_frame(Channel& ch, Frame frame) {
       return;
     }
     case FrameType::Result: {
-      if (!ch.active || frame.header.seq != ch.active_seq) {
-        if (config_.elastic.enabled && seq_retired(frame.header.seq)) {
-          // Late echo of a lease that already completed elsewhere on this
-          // channel — a speculative loser, not a protocol violation.
+      const auto lease = ch.in_flight.find(frame.header.seq);
+      if (lease == ch.in_flight.end()) {
+        if (dedup_enabled() && seq_retired(frame.header.seq)) {
+          // Late echo of a lease that already completed elsewhere — a
+          // speculative loser or a cancelled lease within the pipeline
+          // window, not a protocol violation.
           counters_->bump(counters_->fleet_duplicates, fleet_net_metrics().duplicates);
           return;
         }
         close_channel(ch.id, "protocol violation: unexpected Result seq");
         return;
       }
-      auto trip = std::move(ch.active);
+      auto trip = std::move(lease->second.trip);
+      ch.in_flight.erase(lease);
       retire_seq(frame.header.seq);
       trip->carriers.erase(std::remove(trip->carriers.begin(), trip->carriers.end(), ch.id),
                            trip->carriers.end());
-      if (config_.elastic.enabled && trip_done(trip)) {
+      if (dedup_enabled() && trip_done(trip)) {
         // This carrier lost the speculation race: the unit was already
         // combined once, so this copy is dropped, not delivered.
         counters_->bump(counters_->fleet_duplicates, fleet_net_metrics().duplicates);
@@ -398,8 +435,9 @@ void RemoteEndpoint::handle_frame(Channel& ch, Frame frame) {
       return;
     }
     case FrameType::Error: {
-      if (!ch.active || frame.header.seq != ch.active_seq) {
-        if (config_.elastic.enabled && seq_retired(frame.header.seq)) {
+      const auto lease = ch.in_flight.find(frame.header.seq);
+      if (lease == ch.in_flight.end()) {
+        if (dedup_enabled() && seq_retired(frame.header.seq)) {
           counters_->bump(counters_->fleet_duplicates, fleet_net_metrics().duplicates);
           return;
         }
@@ -408,11 +446,12 @@ void RemoteEndpoint::handle_frame(Channel& ch, Frame frame) {
       }
       // The worker is healthy — its computation failed.  Fail the trip but
       // keep the channel; the supervisor decides whether to retry.
-      auto trip = std::move(ch.active);
+      auto trip = std::move(lease->second.trip);
+      ch.in_flight.erase(lease);
       retire_seq(frame.header.seq);
       trip->carriers.erase(std::remove(trip->carriers.begin(), trip->carriers.end(), ch.id),
                            trip->carriers.end());
-      if (config_.elastic.enabled && trip_done(trip)) {
+      if (dedup_enabled() && trip_done(trip)) {
         counters_->bump(counters_->fleet_duplicates, fleet_net_metrics().duplicates);
         try_dispatch();
         return;
@@ -452,9 +491,21 @@ void RemoteEndpoint::close_channel(std::uint64_t id, const std::string& reason) 
   // During shutdown nobody will dispatch again, so trips must fail instead.
   const bool elastic = config_.elastic.enabled && !down_.load(std::memory_order_acquire);
   bool requeued = false;
-  if (ch.active) {
-    auto trip = std::move(ch.active);
-    retire_seq(ch.active_seq);
+  // Requeue in dispatch order: backlog first (pushed front in reverse), then
+  // the in-flight leases (map is seq-ascending = dispatch order, also pushed
+  // front in reverse), so the oldest lease re-dispatches first.
+  for (auto bit = ch.backlog.rbegin(); bit != ch.backlog.rend(); ++bit) {
+    if (elastic && !trip_done(*bit)) {
+      pending_trips_.push_front(std::move(*bit));
+      requeued = true;
+    } else if (!elastic && !trip_done(*bit)) {
+      fail_trip(*bit, "channel closed: " + reason);
+    }
+  }
+  ch.backlog.clear();
+  for (auto lit = ch.in_flight.rbegin(); lit != ch.in_flight.rend(); ++lit) {
+    auto trip = std::move(lit->second.trip);
+    retire_seq(lit->first);
     trip->carriers.erase(std::remove(trip->carriers.begin(), trip->carriers.end(), id),
                          trip->carriers.end());
     if (elastic) {
@@ -467,15 +518,7 @@ void RemoteEndpoint::close_channel(std::uint64_t id, const std::string& reason) 
       fail_trip(trip, "channel closed: " + reason);
     }
   }
-  for (auto bit = ch.backlog.rbegin(); bit != ch.backlog.rend(); ++bit) {
-    if (elastic && !trip_done(*bit)) {
-      pending_trips_.push_front(std::move(*bit));
-      requeued = true;
-    } else if (!elastic && !trip_done(*bit)) {
-      fail_trip(*bit, "channel closed: " + reason);
-    }
-  }
-  ch.backlog.clear();
+  ch.in_flight.clear();
   channels_.erase(it);
   if (requeued) {
     // Deferred: close_channel may be running inside try_dispatch already.
@@ -484,23 +527,26 @@ void RemoteEndpoint::close_channel(std::uint64_t id, const std::string& reason) 
 }
 
 void RemoteEndpoint::try_dispatch() {
+  const std::size_t depth = pipeline_depth_.load(std::memory_order_acquire);
   if (!config_.elastic.enabled) {
+    // Fixed fleet, pipelined wire: place each queued trip on the channel
+    // with the most spare window, so trips spread before they stack.
     while (!pending_trips_.empty()) {
-      Channel* idle = nullptr;
+      Channel* target = nullptr;
       for (auto& [id, ch] : channels_) {
-        if (ch->hello_seen && !ch->active) {
-          idle = ch.get();
-          break;
+        if (!ch->hello_seen || ch->in_flight.size() >= depth) continue;
+        if (target == nullptr || ch->in_flight.size() < target->in_flight.size()) {
+          target = ch.get();
         }
       }
-      if (idle == nullptr) return;
+      if (target == nullptr) return;
       auto trip = std::move(pending_trips_.front());
       pending_trips_.pop_front();
       {
         std::lock_guard<std::mutex> lk(trip->m);
         if (trip->done) continue;  // aborted while queued
       }
-      dispatch(*idle, std::move(trip));
+      dispatch(*target, std::move(trip));
     }
     return;
   }
@@ -508,26 +554,27 @@ void RemoteEndpoint::try_dispatch() {
   // Elastic scheduler.  One placement per pass — a send can tear down its
   // channel, so every pass rescans the (possibly mutated) channel map:
   //   1. a free wire slot drains its own backlog;
-  //   2. queued work goes to an idle channel, else the shallowest backlog
-  //      with lease capacity;
+  //   2. queued work goes on the wire of the least-loaded channel with
+  //      window to spare, else the shallowest backlog with lease capacity;
   //   3. with nothing queued, an idle channel steals the oldest
   //      leased-but-unsent unit from the most-loaded lane.
+  const std::size_t lease_cap = std::max(config_.elastic.lease_depth, depth);
   for (;;) {
     Channel* wire = nullptr;   // free wire slot with its own backlog
-    Channel* idle = nullptr;   // free wire slot, empty backlog
-    Channel* roomy = nullptr;  // busy, but under lease_depth
+    Channel* spare = nullptr;  // free wire slot, empty backlog (least loaded)
+    Channel* roomy = nullptr;  // wire full, but under the lease cap
     Channel* donor = nullptr;  // deepest backlog (steal victim)
     for (auto& [id, ch] : channels_) {
       if (!ch->hello_seen) continue;
-      if (!ch->active) {
+      if (ch->in_flight.size() < depth) {
         if (!ch->backlog.empty()) {
           if (wire == nullptr) wire = ch.get();
-        } else if (idle == nullptr) {
-          idle = ch.get();
+        } else if (spare == nullptr || ch->in_flight.size() < spare->in_flight.size()) {
+          spare = ch.get();
         }
         continue;
       }
-      if (ch->backlog.size() + 1 < config_.elastic.lease_depth &&
+      if (ch->in_flight.size() + ch->backlog.size() < lease_cap &&
           (roomy == nullptr || ch->backlog.size() < roomy->backlog.size())) {
         roomy = ch.get();
       }
@@ -547,23 +594,25 @@ void RemoteEndpoint::try_dispatch() {
       dispatch(*wire, std::move(trip));
       continue;
     }
-    if (!pending_trips_.empty() && (idle != nullptr || roomy != nullptr)) {
+    if (!pending_trips_.empty() && (spare != nullptr || roomy != nullptr)) {
       auto trip = std::move(pending_trips_.front());
       pending_trips_.pop_front();
       if (aborted_while_queued(trip)) continue;
-      if (idle != nullptr) {
-        dispatch(*idle, std::move(trip));
+      if (spare != nullptr) {
+        dispatch(*spare, std::move(trip));
       } else {
         roomy->backlog.push_back(std::move(trip));
       }
       continue;
     }
-    if (idle != nullptr && donor != nullptr && config_.elastic.steal) {
+    // Steal only into a fully idle channel (a fresh joiner), as before.
+    if (spare != nullptr && spare->in_flight.empty() && donor != nullptr &&
+        config_.elastic.steal) {
       auto trip = std::move(donor->backlog.front());
       donor->backlog.pop_front();
       if (aborted_while_queued(trip)) continue;
       counters_->bump(counters_->fleet_steals, fleet_net_metrics().steals);
-      dispatch(*idle, std::move(trip));
+      dispatch(*spare, std::move(trip));
       continue;
     }
     return;
@@ -571,24 +620,36 @@ void RemoteEndpoint::try_dispatch() {
 }
 
 void RemoteEndpoint::dispatch(Channel& ch, std::shared_ptr<Trip> trip) {
-  trip->seq = next_seq_++;
+  const std::uint64_t seq = next_seq_++;
+  const auto now = std::chrono::steady_clock::now();
+  trip->seq = seq;
   trip->carriers.push_back(ch.id);
-  ch.active = trip;
-  ch.active_seq = trip->seq;
-  ch.sent_at = std::chrono::steady_clock::now();
+  ch.in_flight[seq] = Channel::Lease{trip, now};
+  if (!trip->dispatched) {
+    // Dispatch stall: queue-entry to first placement.  This is the wait
+    // pipelining exists to shrink — with a wide enough window it is the
+    // post() hop, with a saturated one it is a full round trip.
+    trip->dispatched = true;
+    const auto stall = std::chrono::duration_cast<std::chrono::microseconds>(now - trip->queued_at);
+    const std::uint64_t micros = stall.count() > 0 ? static_cast<std::uint64_t>(stall.count()) : 0;
+    counters_->bump(counters_->dispatch_stall_micros, net_metrics().dispatch_stall_micros,
+                    micros);
+    net_metrics().dispatch_stall_seconds.observe(static_cast<double>(micros) * 1e-6);
+  }
   const std::uint64_t ordinal = transfer_ordinal_++;
-  std::vector<std::uint8_t> bytes;
+  std::vector<std::uint8_t> payload;
   if (config_.telemetry) {
     trip->context.trace_id = trace_id_;
     trip->context.span_id = next_span_id_++;
     trip->context.job_id = trip->job_id;
     trip->context.master_send_seconds = obs::wall_clock_seconds();
     trip->context_sent = true;
-    bytes = encode_frame(FrameType::Work, trip->seq,
-                         obs::prepend_context(trip->context, trip->work));
+    payload = obs::prepend_context(trip->context, trip->work);
   } else {
-    bytes = encode_frame(FrameType::Work, trip->seq, trip->work);
+    payload = trip->work;  // copy: the trip may be re-leased elsewhere later
   }
+  std::vector<std::uint8_t> header =
+      encode_frame_header(FrameType::Work, seq, payload.data(), payload.size());
 
   const fault::FaultPlan* plan = config_.faults;
   if (plan != nullptr) {
@@ -600,13 +661,15 @@ void RemoteEndpoint::dispatch(Channel& ch, std::shared_ptr<Trip> trip) {
     }
     if (plan->truncates_transfer(ordinal)) {
       // Send a prefix and cut the connection: the worker's decoder sees a
-      // short stream, the trip fails fast, the worker reconnects.
+      // short stream, the trip fails fast, the worker reconnects.  Rare
+      // path, so materialising the contiguous frame to halve it is fine.
       counters_->bump(counters_->faults_truncated, net_metrics().faults_truncated);
+      std::vector<std::uint8_t> bytes = std::move(header);
+      bytes.insert(bytes.end(), payload.begin(), payload.end());
       std::vector<std::uint8_t> prefix(bytes.begin(),
                                        bytes.begin() + static_cast<std::ptrdiff_t>(bytes.size() / 2));
       try {
         enqueue_bytes(ch, std::move(prefix));
-        flush_channel(ch);
       } catch (const SocketError&) {
       }
       close_channel(ch.id, "injected truncation");
@@ -616,11 +679,17 @@ void RemoteEndpoint::dispatch(Channel& ch, std::shared_ptr<Trip> trip) {
       counters_->bump(counters_->faults_delayed, net_metrics().faults_delayed);
       const std::uint64_t channel_id = ch.id;
       loop_.post_after(plan->config().net_delay,
-                       [this, channel_id, trip, bytes = std::move(bytes)]() mutable {
+                       [this, channel_id, seq, trip, header = std::move(header),
+                        payload = std::move(payload)]() mutable {
                          const auto it = channels_.find(channel_id);
-                         if (it == channels_.end() || it->second->active != trip) return;
+                         if (it == channels_.end()) return;
+                         const auto lease = it->second->in_flight.find(seq);
+                         if (lease == it->second->in_flight.end() ||
+                             lease->second.trip != trip) {
+                           return;  // lease completed/cancelled while delayed
+                         }
                          try {
-                           enqueue_bytes(*it->second, std::move(bytes));
+                           enqueue_frame(*it->second, std::move(header), std::move(payload));
                          } catch (const SocketError& e) {
                            close_channel(channel_id, e.what());
                          }
@@ -630,38 +699,62 @@ void RemoteEndpoint::dispatch(Channel& ch, std::shared_ptr<Trip> trip) {
   }
 
   try {
-    enqueue_bytes(ch, std::move(bytes));
+    enqueue_frame(ch, std::move(header), std::move(payload));
   } catch (const SocketError& e) {
     close_channel(ch.id, e.what());
   }
 }
 
+void RemoteEndpoint::enqueue_frame(Channel& ch, std::vector<std::uint8_t> header,
+                                   std::vector<std::uint8_t> payload) {
+  counters_->bump(counters_->frames_sent, net_metrics().frames_sent);
+  counters_->bump(counters_->bytes_sent, net_metrics().bytes_sent,
+                  header.size() + payload.size());
+  ch.outbox.push_back(std::move(header));
+  if (!payload.empty()) ch.outbox.push_back(std::move(payload));
+  flush_channel(ch);
+}
+
 void RemoteEndpoint::enqueue_bytes(Channel& ch, std::vector<std::uint8_t> bytes) {
   counters_->bump(counters_->frames_sent, net_metrics().frames_sent);
   counters_->bump(counters_->bytes_sent, net_metrics().bytes_sent, bytes.size());
-  if (ch.outbox.empty()) {
-    ch.outbox = std::move(bytes);
-    ch.out_off = 0;
-  } else {
-    ch.outbox.insert(ch.outbox.end(), bytes.begin(), bytes.end());
-  }
+  if (!bytes.empty()) ch.outbox.push_back(std::move(bytes));
   flush_channel(ch);
 }
 
 void RemoteEndpoint::flush_channel(Channel& ch) {
-  while (ch.out_off < ch.outbox.size()) {
-    const std::ptrdiff_t r =
-        ch.sock.send_some(ch.outbox.data() + ch.out_off, ch.outbox.size() - ch.out_off);
+  // Scatter-gather flush: every queued buffer (frame headers and payloads
+  // alike) rides one sendmsg, so consecutive small frames coalesce into a
+  // single syscall and payload bytes are never copied into a joined buffer.
+  constexpr int kMaxIov = 16;
+  while (!ch.outbox.empty()) {
+    ::iovec iov[kMaxIov];
+    int iovcnt = 0;
+    std::size_t skip = ch.out_off;
+    for (const auto& buf : ch.outbox) {
+      if (iovcnt == kMaxIov) break;
+      iov[iovcnt].iov_base = const_cast<std::uint8_t*>(buf.data()) + skip;
+      iov[iovcnt].iov_len = buf.size() - skip;
+      skip = 0;
+      ++iovcnt;
+    }
+    const std::ptrdiff_t r = ch.sock.send_vec(iov, iovcnt);
     if (r < 0) break;  // kernel buffer full: wait for POLLOUT
-    ch.out_off += static_cast<std::size_t>(r);
+    std::size_t left = static_cast<std::size_t>(r);
+    while (left > 0) {
+      const std::size_t avail = ch.outbox.front().size() - ch.out_off;
+      if (left >= avail) {
+        left -= avail;
+        ch.outbox.pop_front();
+        ch.out_off = 0;
+      } else {
+        ch.out_off += left;
+        left = 0;
+      }
+    }
+    if (r == 0) break;  // defensive: never spin on a zero-byte send
   }
-  if (ch.out_off >= ch.outbox.size()) {
-    ch.outbox.clear();
-    ch.out_off = 0;
-    loop_.modify(ch.sock.fd(), POLLIN);
-  } else {
-    loop_.modify(ch.sock.fd(), POLLIN | POLLOUT);
-  }
+  loop_.modify(ch.sock.fd(), ch.outbox.empty() ? POLLIN : (POLLIN | POLLOUT));
 }
 
 void RemoteEndpoint::fail_trip(const std::shared_ptr<Trip>& trip, const std::string& error) {
@@ -693,7 +786,7 @@ bool RemoteEndpoint::trip_done(const std::shared_ptr<Trip>& trip) const {
 }
 
 void RemoteEndpoint::retire_seq(std::uint64_t seq) {
-  if (!config_.elastic.enabled || seq == 0) return;
+  if (!dedup_enabled() || seq == 0) return;
   constexpr std::size_t kRetiredRing = 256;
   if (retired_seqs_.size() < kRetiredRing) {
     retired_seqs_.push_back(seq);
@@ -728,6 +821,7 @@ RemoteEndpoint::RoundTrip RemoteEndpoint::round_trip(std::vector<std::uint8_t> w
   trip->work = std::move(work);
   trip->job_id = job_id;
   const auto start = clock::now();
+  trip->queued_at = start;
   const bool has_deadline = config_.round_trip_deadline.count() > 0;
   const auto deadline = start + config_.round_trip_deadline;
 
@@ -757,18 +851,42 @@ RemoteEndpoint::RoundTrip RemoteEndpoint::round_trip(std::vector<std::uint8_t> w
       fail_trip(trip, "endpoint is shut down");
     } else {
       const std::string reason = timed_out ? "round trip deadline exceeded" : "cancelled";
-      loop_.post([this, trip, reason] {
+      // A timeout means the frame (or its Result) is lost or the worker is
+      // stuck — the channel must die so the worker reconnects with a fresh
+      // stream.  A cancellation is the master's own choice: when the dedup
+      // window is on, the leases are simply retired and the channel lives;
+      // the late Result is recognised by its retired seq and dropped.
+      // Without dedup (strict depth-1, non-elastic) a live channel could
+      // alias the stale Result onto a future lease, so keep the legacy kill.
+      const bool gentle = !timed_out && dedup_enabled();
+      loop_.post([this, trip, reason, gentle] {
         {
           std::lock_guard<std::mutex> inner(trip->m);
           if (trip->done) return;
         }
         if (!trip->carriers.empty()) {
-          // In flight: fail first so close_channel cannot re-lease it, then
-          // kill every carrier so a late Result cannot alias a future lease.
-          // The workers reconnect with fresh streams.
+          // Fail first so close_channel cannot re-lease it.
           fail_trip(trip, reason);
           const std::vector<std::uint64_t> carriers = trip->carriers;
-          for (const std::uint64_t id : carriers) close_channel(id, reason);
+          trip->carriers.clear();
+          if (gentle) {
+            for (const std::uint64_t id : carriers) {
+              const auto it = channels_.find(id);
+              if (it == channels_.end()) continue;
+              auto& in_flight = it->second->in_flight;
+              for (auto lease = in_flight.begin(); lease != in_flight.end();) {
+                if (lease->second.trip == trip) {
+                  retire_seq(lease->first);
+                  lease = in_flight.erase(lease);
+                } else {
+                  ++lease;
+                }
+              }
+            }
+            try_dispatch();  // the freed wire slots can take queued work
+          } else {
+            for (const std::uint64_t id : carriers) close_channel(id, reason);
+          }
         } else {
           const auto it = std::find(pending_trips_.begin(), pending_trips_.end(), trip);
           if (it != pending_trips_.end()) pending_trips_.erase(it);
@@ -831,6 +949,7 @@ RemoteCounters RemoteEndpoint::counters() const {
   c.telemetry_batches = counters_->telemetry_batches.load(std::memory_order_relaxed);
   c.telemetry_spans = counters_->telemetry_spans.load(std::memory_order_relaxed);
   c.telemetry_rejected = counters_->telemetry_rejected.load(std::memory_order_relaxed);
+  c.dispatch_stall_micros = counters_->dispatch_stall_micros.load(std::memory_order_relaxed);
   c.fleet_joins = counters_->fleet_joins.load(std::memory_order_relaxed);
   c.fleet_leaves = counters_->fleet_leaves.load(std::memory_order_relaxed);
   c.fleet_crashes = counters_->fleet_crashes.load(std::memory_order_relaxed);
@@ -843,9 +962,7 @@ RemoteCounters RemoteEndpoint::counters() const {
 void RemoteEndpoint::disrupt(bool graceful) {
   loop_.post([this, graceful] {
     if (down_.load(std::memory_order_acquire)) return;
-    const auto load_of = [](const Channel& c) {
-      return (c.active ? std::size_t{1} : std::size_t{0}) + c.backlog.size();
-    };
+    const auto load_of = [](const Channel& c) { return c.in_flight.size() + c.backlog.size(); };
     Channel* busiest = nullptr;
     for (auto& [id, ch] : channels_) {
       if (!ch->hello_seen) continue;

@@ -44,8 +44,8 @@ namespace mg::net {
 /// endpoint (one lease per channel, unexpected seq closes the connection).
 struct ElasticConfig {
   bool enabled = false;
-  /// Work units leased to one channel: 1 in flight + (depth-1) queued
-  /// locally.  Depth >= 2 gives idle joiners a backlog to steal from.
+  /// Work units leased to one channel: on-the-wire slots + locally queued
+  /// backlog.  Depth >= 2 gives idle joiners a backlog to steal from.
   std::size_t lease_depth = 2;
   /// A lease in flight longer than this is speculatively re-issued to an
   /// idle channel (first Result wins, the loser is discarded and counted as
@@ -53,6 +53,13 @@ struct ElasticConfig {
   std::chrono::milliseconds soft_deadline{0};
   /// Idle channels steal leased-but-unsent work from the most-loaded one.
   bool steal = true;
+  /// Seq-tagged work units a channel may have on the wire at once, completed
+  /// out of order — the pipelining that overlaps wire latency with worker
+  /// compute.  Honoured with or without `enabled` (it is transport depth,
+  /// not fleet elasticity).  Depth 1 restores the strict one-in-flight
+  /// protocol of PR 5, where an unexpected Result seq closes the channel;
+  /// any depth > 1 turns on the retired-seq dedup window instead.
+  std::size_t pipeline_depth = 4;
 };
 
 struct RemoteEndpointConfig {
@@ -70,6 +77,9 @@ struct RemoteEndpointConfig {
   /// Elastic fleet: join/leave churn tolerance, work stealing, and
   /// deadline-aware speculative re-leasing.
   ElasticConfig elastic;
+  /// Readiness backend for the endpoint's event loop (Auto = epoll on
+  /// Linux, poll elsewhere; MG_NET_POLLER overrides Auto).
+  PollerBackend poller = PollerBackend::Auto;
 };
 
 /// Point-in-time copy of the endpoint's counters (also mirrored into the
@@ -91,6 +101,9 @@ struct RemoteCounters {
   std::uint64_t telemetry_batches = 0;   ///< worker batches merged
   std::uint64_t telemetry_spans = 0;     ///< worker spans re-timed + merged
   std::uint64_t telemetry_rejected = 0;  ///< malformed batches dropped (job unaffected)
+  /// Microseconds trips spent queued before their first dispatch — the
+  /// dispatch-stall time pipelining exists to shrink (net_bench reads this).
+  std::uint64_t dispatch_stall_micros = 0;
   // Elastic fleet (all zero unless config.elastic.enabled).
   std::uint64_t fleet_joins = 0;       ///< handshakes accepted into the lease set
   std::uint64_t fleet_leaves = 0;      ///< graceful departures (disrupt/Bye)
@@ -148,6 +161,15 @@ class RemoteEndpoint {
 
   RemoteCounters counters() const;
 
+  /// Runtime pipeline-window adjustment (clamped to [1, 64]).  Thread-safe:
+  /// the loop reads the atomic before every placement, so a shrink stops new
+  /// dispatches immediately while already-in-flight leases drain naturally.
+  void set_pipeline_depth(std::size_t depth);
+  std::size_t pipeline_depth() const { return pipeline_depth_.load(std::memory_order_acquire); }
+
+  /// Readiness backend the endpoint's loop resolved to ("epoll" / "poll").
+  const char* poller_name() const;
+
  private:
   struct Channel;
   struct Trip;
@@ -159,8 +181,14 @@ class RemoteEndpoint {
   void close_channel(std::uint64_t id, const std::string& reason);
   void try_dispatch();
   void dispatch(Channel& ch, std::shared_ptr<Trip> trip);
+  void enqueue_frame(Channel& ch, std::vector<std::uint8_t> header,
+                     std::vector<std::uint8_t> payload);
   void enqueue_bytes(Channel& ch, std::vector<std::uint8_t> bytes);
   void flush_channel(Channel& ch);
+  /// True when unexpected-but-retired Result seqs are dropped as duplicates
+  /// instead of treated as protocol violations (elastic fleet, or any
+  /// pipeline window wider than one).
+  bool dedup_enabled() const;
   void fail_trip(const std::shared_ptr<Trip>& trip, const std::string& error);
   void complete_trip(const std::shared_ptr<Trip>& trip, std::vector<std::uint8_t> payload);
   bool trip_done(const std::shared_ptr<Trip>& trip) const;
@@ -182,15 +210,17 @@ class RemoteEndpoint {
   std::uint64_t transfer_ordinal_ = 0;  ///< work-frame sends, for the fault plan
   std::uint64_t trace_id_ = 0;          ///< one per endpoint (pid + ordinal)
   std::uint64_t next_span_id_ = 1;      ///< dispatch span ids within the trace
-  /// Ring of recently completed lease seqs (elastic): a Result bearing one of
-  /// these is a speculative loser's late echo, dropped without closing the
-  /// channel.  Any other unexpected seq is still a protocol violation.
+  /// Ring of recently completed lease seqs (elastic or pipelined): a Result
+  /// bearing one of these is a speculative loser's or a cancelled lease's
+  /// late echo, dropped without closing the channel.  Any other unexpected
+  /// seq is still a protocol violation.
   std::vector<std::uint64_t> retired_seqs_;
   std::size_t retired_next_ = 0;
 
   // ---- shared state ----
   std::atomic<std::size_t> connected_{0};
   std::atomic<bool> down_{false};
+  std::atomic<std::size_t> pipeline_depth_{1};  ///< seeded from config in the ctor
   mutable std::mutex workers_mutex_;
   std::condition_variable workers_cv_;
 

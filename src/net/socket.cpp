@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -68,6 +69,19 @@ std::ptrdiff_t Socket::send_some(const void* data, std::size_t n) {
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
     throw_errno("send");
+  }
+}
+
+std::ptrdiff_t Socket::send_vec(const ::iovec* iov, int iovcnt) {
+  msghdr msg{};
+  msg.msg_iov = const_cast<::iovec*>(iov);
+  msg.msg_iovlen = static_cast<decltype(msg.msg_iovlen)>(iovcnt);
+  for (;;) {
+    const ssize_t r = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (r >= 0) return r;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    throw_errno("sendmsg");
   }
 }
 

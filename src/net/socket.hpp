@@ -15,6 +15,8 @@
 #include <stdexcept>
 #include <string>
 
+struct iovec;  // <sys/uio.h>; only named here so headers stay lean
+
 namespace mg::net {
 
 class SocketError : public std::runtime_error {
@@ -44,6 +46,11 @@ class Socket {
   /// Sends up to n bytes.  Returns bytes written (may be 0 under pressure),
   /// -1 on would-block; throws SocketError on a hard error (incl. EPIPE).
   std::ptrdiff_t send_some(const void* data, std::size_t n);
+
+  /// Scatter-gather send (sendmsg, so MSG_NOSIGNAL still applies — writev
+  /// takes no flags).  Same contract as send_some: bytes written, -1 on
+  /// would-block, throws on hard errors.
+  std::ptrdiff_t send_vec(const ::iovec* iov, int iovcnt);
 
   /// Receives up to n bytes.  Returns bytes read, 0 on orderly EOF, -1 on
   /// would-block; throws SocketError on a hard error.

@@ -146,6 +146,8 @@ JobTicket SolveEngine::submit(const JobSpec& spec) {
     why = "kernel_policy out of range";
   } else if (spec.inner_threads < 1 || spec.inner_threads > 1024) {
     why = "inner_threads out of range [1, 1024]";
+  } else if (spec.pipeline_depth > 64) {
+    why = "pipeline_depth out of range [0, 64]";
   } else if (!spec.fault_spec.empty()) {
     try {
       (void)fault::parse_fault_spec(spec.fault_spec);
@@ -203,7 +205,8 @@ JobTicket SolveEngine::submit(const JobSpec& spec) {
     std::lock_guard<std::mutex> lock(jobs_mutex_);
     jobs_.emplace(job->id, job);
   }
-  if (!scheduler_.admit(job->id, spec.priority, spec.weight, std::move(tasks), reason)) {
+  if (!scheduler_.admit(job->id, spec.priority, spec.weight, std::move(tasks), reason,
+                        spec.pipeline_depth)) {
     {
       std::lock_guard<std::mutex> lock(jobs_mutex_);
       jobs_.erase(job->id);

@@ -50,6 +50,7 @@ std::vector<std::uint8_t> encode_job_spec(const JobSpec& spec) {
   w.write_string(spec.tag);
   w.write_i32(spec.kernel_policy);
   w.write_i32(static_cast<std::int32_t>(spec.inner_threads));
+  w.write_i32(static_cast<std::int32_t>(spec.pipeline_depth));
   return w.take();
 }
 
@@ -72,6 +73,11 @@ JobSpec decode_job_spec(const std::vector<std::uint8_t>& bytes) {
     throw DecodeError("decode_job_spec: inner_threads out of range");
   }
   spec.inner_threads = static_cast<std::uint32_t>(inner);
+  const std::int32_t pipeline = r.read_i32();
+  if (pipeline < 0 || pipeline > 64) {
+    throw DecodeError("decode_job_spec: pipeline_depth out of range");
+  }
+  spec.pipeline_depth = static_cast<std::uint32_t>(pipeline);
   check_exhausted(r, "decode_job_spec");
   return spec;
 }

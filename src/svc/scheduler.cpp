@@ -33,7 +33,8 @@ SchedMetrics& sched_metrics() {
 FairScheduler::FairScheduler(AdmissionConfig config) : config_(config) {}
 
 bool FairScheduler::admit(std::uint64_t id, std::int32_t priority, double weight,
-                          std::vector<TaskRef> tasks, std::string& reason) {
+                          std::vector<TaskRef> tasks, std::string& reason,
+                          std::uint32_t pipeline_limit) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (stopped_) {
     reason = "scheduler is stopped";
@@ -51,6 +52,7 @@ bool FairScheduler::admit(std::uint64_t id, std::int32_t priority, double weight
   Job job;
   job.priority = priority;
   job.weight = weight > 0.0 ? weight : 1.0;
+  job.pipeline_limit = pipeline_limit;
   job.pending.assign(tasks.begin(), tasks.end());
   jobs_.emplace(id, std::move(job));
   wait_queue_.push_back(id);
@@ -100,6 +102,7 @@ FairScheduler::Job* FairScheduler::pick_job() {
   std::uint64_t best_id = 0;
   for (auto& [id, job] : jobs_) {
     if (!job.running || job.pending.empty()) continue;
+    if (job.pipeline_limit > 0 && job.in_flight >= job.pipeline_limit) continue;
     if (best == nullptr || job.priority > best->priority ||
         (job.priority == best->priority && job.virtual_service < best->virtual_service) ||
         (job.priority == best->priority && job.virtual_service == best->virtual_service &&
@@ -136,7 +139,11 @@ std::optional<TaskRef> FairScheduler::next_task() {
 void FairScheduler::task_finished(std::uint64_t id) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = jobs_.find(id);
-  if (it != jobs_.end() && it->second.in_flight > 0) --it->second.in_flight;
+  if (it != jobs_.end() && it->second.in_flight > 0) {
+    --it->second.in_flight;
+    // A finished task can unblock a job parked at its pipeline limit.
+    if (it->second.pipeline_limit > 0 && !it->second.pending.empty()) task_ready_.notify_all();
+  }
 }
 
 std::size_t FairScheduler::drop_pending(std::uint64_t id) {

@@ -54,8 +54,11 @@ class FairScheduler {
   /// Admits job `id` with its pending task list, or rejects it (returns
   /// false, sets `reason`) when both admission stages are full.  Admitted
   /// jobs start dispatching immediately if a running slot is free.
+  /// `pipeline_limit` caps how many of the job's tasks may be in flight at
+  /// once (0 = unlimited): pick_job skips a capped job until a lane calls
+  /// task_finished for it.
   bool admit(std::uint64_t id, std::int32_t priority, double weight, std::vector<TaskRef> tasks,
-             std::string& reason);
+             std::string& reason, std::uint32_t pipeline_limit = 0);
 
   /// True while the job holds a running slot (dispatching or in flight).
   bool is_active(std::uint64_t id) const;
@@ -96,6 +99,7 @@ class FairScheduler {
     double virtual_service = 0.0;
     std::deque<TaskRef> pending;
     std::size_t in_flight = 0;
+    std::uint32_t pipeline_limit = 0;  ///< max in_flight; 0 = unlimited
     bool running = false;  ///< holds a running slot (vs waiting)
   };
 

@@ -377,6 +377,9 @@ TEST(ElasticEndpoint, DuplicateResultIsDiscardedAndTheChannelSurvives) {
 TEST(ElasticEndpoint, DuplicateResultIsAProtocolViolationWhenElasticIsOff) {
   net::RemoteEndpointConfig config;
   config.telemetry = false;
+  // Depth 1 restores the strict PR-5 contract this test pins; any wider
+  // pipeline window turns on the retired-seq dedup that drops the echo.
+  config.elastic.pipeline_depth = 1;
   net::RemoteEndpoint endpoint(net::TcpListener("127.0.0.1", 0), config);
   FakeWorker worker(endpoint.port());
   ASSERT_TRUE(endpoint.wait_for_workers(1, 5s));

@@ -8,6 +8,8 @@
 
 #include "core/concurrent_solver.hpp"
 #include "core/marshal.hpp"
+#include "net/frame.hpp"
+#include "obs/telemetry.hpp"
 #include "support/bytes.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
@@ -275,6 +277,162 @@ TEST(MarshalFuzz, OutOfRangeEnumsAreRejected) {
   auto bad_solver = valid;
   bad_solver[scheme_off + 4] = 0xFF;  // solver = 255, far out of range
   EXPECT_THROW(mw::decode_work_item(bad_solver), DecodeError);
+}
+
+// ---- pipelined stream fuzz ----------------------------------------------------------
+//
+// With N-in-flight dispatch the master coalesces several frames into one
+// write and the worker's decoder sees them as a single TCP stream, cut
+// wherever the kernel pleases.  These cases pin the decoder's behaviour on
+// exactly those streams: every split point reassembles, interleaved plain
+// results and telemetry envelopes come out in order, and a stream truncated
+// mid-queue yields the complete prefix and then waits — reject on
+// corruption, never crash.
+
+std::vector<std::uint8_t> pipelined_stream(const std::vector<net::Frame>& frames) {
+  std::vector<std::uint8_t> stream;
+  for (const auto& f : frames) {
+    const auto bytes = net::encode_frame(f.header.type, f.header.seq, f.payload);
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+  return stream;
+}
+
+std::vector<net::Frame> window_of_work_frames() {
+  std::vector<net::Frame> frames;
+  for (std::uint64_t seq = 1; seq <= 4; ++seq) {
+    net::Frame f;
+    f.header.type = net::FrameType::Work;
+    f.header.seq = seq;
+    f.payload.assign(seq * 37, static_cast<std::uint8_t>(0xA0 + seq));
+    frames.push_back(std::move(f));
+  }
+  return frames;
+}
+
+TEST(PipelinedStreamFuzz, CoalescedWindowSurvivesEverySplitPoint) {
+  const auto frames = window_of_work_frames();
+  const auto stream = pipelined_stream(frames);
+  for (std::size_t split = 0; split <= stream.size(); ++split) {
+    net::FrameDecoder decoder;
+    decoder.feed(stream.data(), split);
+    std::vector<net::Frame> got;
+    while (auto f = decoder.next()) got.push_back(std::move(*f));
+    decoder.feed(stream.data() + split, stream.size() - split);
+    while (auto f = decoder.next()) got.push_back(std::move(*f));
+    ASSERT_EQ(got.size(), frames.size()) << "split " << split;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      EXPECT_EQ(got[i].header.seq, frames[i].header.seq) << "split " << split;
+      EXPECT_EQ(got[i].payload, frames[i].payload) << "split " << split;
+    }
+    EXPECT_EQ(decoder.buffered(), 0u);
+  }
+}
+
+TEST(PipelinedStreamFuzz, InterleavedResultAndTelemetryEnvelopesDecodeInOrder) {
+  // Out-of-order completion interleaves plain Results with enveloped ones on
+  // the same stream; the envelope layer must come apart per frame.
+  obs::TelemetryBatch batch;
+  batch.worker_pid = 4242;
+  batch.counters.push_back({"net.test_counter", 3});
+  const auto telemetry = obs::encode_telemetry_batch(batch);
+
+  std::vector<net::Frame> frames;
+  for (std::uint64_t seq : {7u, 3u, 9u, 5u}) {
+    net::Frame f;
+    f.header.type = net::FrameType::Result;
+    f.header.seq = seq;
+    const std::vector<std::uint8_t> result(seq, static_cast<std::uint8_t>(seq));
+    // Odd seqs travel enveloped, even seqs plain — as when only some Work
+    // frames carried a trace context.
+    f.payload = (seq % 2 == 1) ? obs::wrap_result(telemetry, result) : result;
+    frames.push_back(std::move(f));
+  }
+  const auto stream = pipelined_stream(frames);
+
+  net::FrameDecoder decoder;
+  decoder.feed(stream.data(), stream.size());
+  for (std::uint64_t seq : {7u, 3u, 9u, 5u}) {
+    const auto f = decoder.next();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->header.seq, seq);
+    const std::vector<std::uint8_t> expected(seq, static_cast<std::uint8_t>(seq));
+    if (seq % 2 == 1) {
+      const obs::ResultEnvelope env = obs::unwrap_result(f->payload);
+      EXPECT_EQ(env.result, expected);
+      EXPECT_EQ(obs::decode_telemetry_batch(env.telemetry).worker_pid, 4242u);
+    } else {
+      EXPECT_EQ(f->payload, expected);
+    }
+  }
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(PipelinedStreamFuzz, TruncationMidQueueYieldsTheCompletePrefixThenWaits) {
+  const auto frames = window_of_work_frames();
+  const auto stream = pipelined_stream(frames);
+  // Frame boundaries, to know how many complete frames each cut contains.
+  std::vector<std::size_t> ends;
+  std::size_t off = 0;
+  for (const auto& f : frames) {
+    off += net::FrameHeader::kWireSize + f.payload.size();
+    ends.push_back(off);
+  }
+  for (std::size_t len = 0; len < stream.size(); ++len) {
+    net::FrameDecoder decoder;
+    decoder.feed(stream.data(), len);
+    std::size_t complete = 0;
+    while (ends[complete] <= len) ++complete;
+    for (std::size_t i = 0; i < complete; ++i) {
+      const auto f = decoder.next();
+      ASSERT_TRUE(f.has_value()) << "cut " << len;
+      EXPECT_EQ(f->header.seq, frames[i].header.seq);
+    }
+    // The tail is an incomplete frame: not an error, just not done yet.
+    EXPECT_FALSE(decoder.next().has_value()) << "cut " << len;
+  }
+}
+
+TEST(PipelinedStreamFuzz, CorruptedStreamsRejectOrDecodeNeverCrash) {
+  // One flipped bit anywhere in a pipelined stream, delivered in seeded
+  // random fragments: each trial must end in either a clean decode of some
+  // frame prefix or a FrameError — nothing else, and never a crash.  5k
+  // seeded trials.
+  support::Xoshiro256 rng(20260809);
+  const auto frames = window_of_work_frames();
+  const auto pristine = pipelined_stream(frames);
+  for (int trial = 0; trial < 5000; ++trial) {
+    auto stream = pristine;
+    stream[rng.below(stream.size())] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+    net::FrameDecoder decoder;
+    std::size_t fed = 0;
+    bool rejected = false;
+    std::size_t decoded = 0;
+    try {
+      while (fed < stream.size()) {
+        const std::size_t chunk =
+            std::min<std::size_t>(1 + rng.below(48), stream.size() - fed);
+        decoder.feed(stream.data() + fed, chunk);
+        fed += chunk;
+        while (decoder.next()) ++decoded;
+      }
+    } catch (const net::FrameError&) {
+      rejected = true;  // the CRCs caught it
+    }
+    // A flip inside a payload that both CRCs happen to cover is impossible —
+    // the payload CRC sees every payload byte — so either the stream decoded
+    // fully before the flip's frame, or it was rejected.
+    EXPECT_TRUE(rejected || decoded < frames.size())
+        << "trial " << trial << " decoded a corrupt stream in full";
+  }
+}
+
+TEST(PipelinedStreamFuzz, EnvelopeSizePrefixBeyondThePayloadIsRejected) {
+  // Envelope corruption (as opposed to telemetry-blob corruption) must fail
+  // the trip: a size prefix pointing past the payload cannot be half-read.
+  // u32 size prefix claims ~2 GiB of telemetry; one byte follows it.
+  const std::vector<std::uint8_t> payload{0xFF, 0xFF, 0xFF, 0x7F, 0x00};
+  EXPECT_THROW(obs::unwrap_result(payload), DecodeError);
 }
 
 TEST(Marshal, SolverThroughWireIsStillBitExact) {

@@ -8,13 +8,18 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
 #include <thread>
 
+#include "core/concurrent_solver.hpp"
+#include "core/remote_worker.hpp"
+#include "fleet/churn.hpp"
 #include "net/crc32.hpp"
 #include "net/event_loop.hpp"
 #include "net/frame.hpp"
 #include "net/remote.hpp"
 #include "net/socket.hpp"
+#include "transport/seq_solver.hpp"
 
 namespace {
 
@@ -361,6 +366,279 @@ TEST(RemoteEndpoint, ShutdownFailsInFlightTripsInsteadOfHanging) {
   EXPECT_FALSE(trip.ok);
   // After shutdown every further trip fails immediately.
   EXPECT_FALSE(endpoint.round_trip({2}).ok);
+}
+
+// ---- pipelined dispatch (N-in-flight leases; DESIGN.md §15) -------------------------
+
+/// A raw scripted worker: completes the Hello handshake by hand so the test
+/// controls exactly when and in which order Results go back — the lever for
+/// out-of-order completion, duplicate seqs and cancellation mid-window.
+struct FakeWorker {
+  net::Socket sock;
+  net::FrameDecoder decoder;
+
+  explicit FakeWorker(std::uint16_t port) {
+    sock = net::connect_tcp("127.0.0.1", port, 2000ms);
+    EXPECT_TRUE(sock.valid());
+    std::uint8_t hello[16] = {};  // pid 0, attempt 0 (bare v1 handshake)
+    const auto frame = net::encode_frame(net::FrameType::Hello, 0, hello, sizeof hello);
+    EXPECT_TRUE(net::send_all(sock, frame.data(), frame.size()));
+  }
+
+  /// Blocks until one frame arrives (the socket stays blocking).
+  std::optional<net::Frame> next_frame() {
+    std::uint8_t buf[4096];
+    for (;;) {
+      if (auto f = decoder.next()) return f;
+      const std::ptrdiff_t n = sock.recv_some(buf, sizeof buf);
+      if (n <= 0) return std::nullopt;
+      decoder.feed(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+  void send_result(std::uint64_t seq, const std::vector<std::uint8_t>& payload) {
+    const auto bytes = net::encode_frame(net::FrameType::Result, seq, payload);
+    EXPECT_TRUE(net::send_all(sock, bytes.data(), bytes.size()));
+  }
+};
+
+net::RemoteEndpointConfig pipelined_config(std::size_t depth) {
+  net::RemoteEndpointConfig config;
+  config.telemetry = false;  // raw payloads: the fake worker speaks v1 frames
+  config.elastic.pipeline_depth = depth;
+  return config;
+}
+
+TEST(PipelinedEndpoint, DepthKnobClampsToTheProtocolWindow) {
+  net::RemoteEndpoint endpoint(net::TcpListener("127.0.0.1", 0), pipelined_config(4));
+  EXPECT_EQ(endpoint.pipeline_depth(), 4u);
+  endpoint.set_pipeline_depth(0);  // below the floor: one in flight minimum
+  EXPECT_EQ(endpoint.pipeline_depth(), 1u);
+  endpoint.set_pipeline_depth(1000);  // above the seq-window cap
+  EXPECT_EQ(endpoint.pipeline_depth(), 64u);
+  endpoint.shutdown();
+}
+
+TEST(PipelinedEndpoint, WindowOfFramesRidesOneChannelAndCompletesOutOfOrder) {
+  net::RemoteEndpoint endpoint(net::TcpListener("127.0.0.1", 0), pipelined_config(4));
+  FakeWorker worker(endpoint.port());
+  ASSERT_TRUE(endpoint.wait_for_workers(1, 5s));
+
+  // Three concurrent trips against ONE worker: with a depth-4 window all
+  // three Work frames must reach the wire without waiting on each other.
+  std::vector<std::future<net::RemoteEndpoint::RoundTrip>> trips;
+  for (std::uint8_t tag = 1; tag <= 3; ++tag) {
+    trips.push_back(std::async(std::launch::async, [&endpoint, tag] {
+      return endpoint.round_trip({tag, static_cast<std::uint8_t>(tag * 16)});
+    }));
+  }
+  std::vector<net::Frame> work;
+  for (int i = 0; i < 3; ++i) {
+    auto f = worker.next_frame();
+    ASSERT_TRUE(f.has_value()) << "frame " << i << " never arrived: window stalled";
+    ASSERT_EQ(f->header.type, net::FrameType::Work);
+    work.push_back(std::move(*f));
+  }
+
+  // Answer in reverse order: each Result must resolve *its* trip, matched by
+  // seq, not by arrival order.
+  for (auto it = work.rbegin(); it != work.rend(); ++it) {
+    worker.send_result(it->header.seq, it->payload);
+  }
+  for (std::uint8_t tag = 1; tag <= 3; ++tag) {
+    const auto trip = trips[tag - 1].get();
+    ASSERT_TRUE(trip.ok) << trip.error;
+    EXPECT_EQ(trip.payload,
+              (std::vector<std::uint8_t>{tag, static_cast<std::uint8_t>(tag * 16)}));
+  }
+  EXPECT_EQ(endpoint.counters().round_trips_ok, 3u);
+  EXPECT_EQ(endpoint.counters().disconnects, 0u);
+  endpoint.shutdown();
+}
+
+TEST(PipelinedEndpoint, DuplicateSeqInsideTheWindowIsDroppedNotFatal) {
+  // Same scenario as the elastic duplicate test, but with elastic OFF: the
+  // pipeline window alone turns on the retired-seq dedup, so a double Result
+  // for one lease is counted and dropped and the channel survives.
+  net::RemoteEndpoint endpoint(net::TcpListener("127.0.0.1", 0), pipelined_config(4));
+  FakeWorker worker(endpoint.port());
+  ASSERT_TRUE(endpoint.wait_for_workers(1, 5s));
+
+  auto trip = std::async(std::launch::async, [&] { return endpoint.round_trip({5}); });
+  const auto work = worker.next_frame();
+  ASSERT_TRUE(work.has_value());
+  worker.send_result(work->header.seq, {6});
+  worker.send_result(work->header.seq, {6});
+  ASSERT_TRUE(trip.get().ok);
+
+  auto again = std::async(std::launch::async, [&] { return endpoint.round_trip({7}); });
+  const auto work2 = worker.next_frame();
+  ASSERT_TRUE(work2.has_value()) << "channel died on the duplicate";
+  worker.send_result(work2->header.seq, {8});
+  EXPECT_TRUE(again.get().ok);
+
+  const net::RemoteCounters c = endpoint.counters();
+  EXPECT_EQ(c.fleet_duplicates, 1u);
+  EXPECT_EQ(c.disconnects, 0u);
+  endpoint.shutdown();
+}
+
+TEST(PipelinedEndpoint, CancellationMidWindowSparesTheOtherFramesInFlight) {
+  net::RemoteEndpoint endpoint(net::TcpListener("127.0.0.1", 0), pipelined_config(4));
+  FakeWorker worker(endpoint.port());
+  ASSERT_TRUE(endpoint.wait_for_workers(1, 5s));
+
+  // Two frames in flight on one channel; the first trip is cancelled while
+  // both are on the wire.
+  std::atomic<bool> cancel{false};
+  auto doomed = std::async(std::launch::async, [&] {
+    return endpoint.round_trip({1}, [&] { return cancel.load(); });
+  });
+  auto survivor = std::async(std::launch::async, [&] { return endpoint.round_trip({2}); });
+  std::vector<net::Frame> work;
+  for (int i = 0; i < 2; ++i) {
+    auto f = worker.next_frame();
+    ASSERT_TRUE(f.has_value());
+    work.push_back(std::move(*f));
+  }
+  const auto& doomed_work = work[0].payload == std::vector<std::uint8_t>{1} ? work[0] : work[1];
+  const auto& live_work = work[0].payload == std::vector<std::uint8_t>{1} ? work[1] : work[0];
+
+  cancel.store(true);
+  EXPECT_FALSE(doomed.get().ok);
+
+  // The cancel was gentle: the survivor's lease is untouched and completes.
+  worker.send_result(live_work.header.seq, {22});
+  const auto ok = survivor.get();
+  ASSERT_TRUE(ok.ok) << ok.error;
+  EXPECT_EQ(ok.payload, (std::vector<std::uint8_t>{22}));
+
+  // The cancelled lease's seq was retired: its late Result is a counted
+  // duplicate, not a protocol violation, and the channel stays up.
+  worker.send_result(doomed_work.header.seq, {11});
+  auto after = std::async(std::launch::async, [&] { return endpoint.round_trip({3}); });
+  const auto work3 = worker.next_frame();
+  ASSERT_TRUE(work3.has_value()) << "late Result for a cancelled lease killed the channel";
+  worker.send_result(work3->header.seq, {33});
+  EXPECT_TRUE(after.get().ok);
+
+  const net::RemoteCounters c = endpoint.counters();
+  EXPECT_EQ(c.disconnects, 0u);
+  EXPECT_GE(c.fleet_duplicates, 1u);
+  endpoint.shutdown();
+}
+
+// ---- pipelined solves: bit-identity at any depth ------------------------------------
+
+/// In-process subsolve workers (threads, not forks — cheap enough for
+/// tier 1); the fork-based equivalent soaks in test_net_soak.cpp.
+struct SubsolveWorkers {
+  std::vector<std::thread> threads;
+
+  SubsolveWorkers(std::uint16_t port, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      threads.emplace_back([port] { mw::run_subsolve_worker("127.0.0.1", port); });
+    }
+  }
+  ~SubsolveWorkers() {
+    for (auto& t : threads) t.join();
+  }
+};
+
+TEST(PipelinedSolve, DepthFourMatchesDepthOneAndTheSequentialProgram) {
+  transport::ProgramConfig program;
+  program.root = 2;
+  program.level = 3;
+  const auto seq = transport::solve_sequential(program);
+
+  for (const std::uint32_t depth : {1u, 4u}) {
+    SCOPED_TRACE("depth " + std::to_string(depth));
+    net::RemoteEndpoint endpoint(net::TcpListener("127.0.0.1", 0));
+    SubsolveWorkers workers(endpoint.port(), 2);
+    ASSERT_TRUE(endpoint.wait_for_workers(2, 10s));
+
+    mw::ConcurrentOptions options;
+    options.remote = &endpoint;
+    options.retry = fault::RetryPolicy{};
+    options.pipeline_depth = depth;
+    const auto remote = mw::solve_concurrent(program, options);
+
+    EXPECT_EQ(endpoint.pipeline_depth(), depth) << "ConcurrentOptions did not reach the endpoint";
+    EXPECT_EQ(remote.solve.combined.max_diff(seq.combined), 0.0);
+    EXPECT_EQ(endpoint.counters().round_trips_failed, 0u);
+    endpoint.shutdown();
+  }
+}
+
+TEST(PipelinedSolve, DepthFourUnderSeededNetFaultsStaysBitIdentical) {
+  transport::ProgramConfig program;
+  program.root = 2;
+  program.level = 2;
+  const auto seq = transport::solve_sequential(program);
+
+  fault::FaultPlanConfig fault_config;
+  fault_config.seed = 7;
+  fault_config.net_drop = 0.2;
+  fault_config.net_truncate = 0.15;
+  fault_config.net_slow = 0.2;
+  fault_config.net_delay = 30ms;
+  const fault::FaultPlan plan(fault_config);
+
+  net::RemoteEndpointConfig config;
+  config.round_trip_deadline = 2000ms;
+  config.faults = &plan;
+  config.elastic.pipeline_depth = 4;
+  net::RemoteEndpoint endpoint(net::TcpListener("127.0.0.1", 0), config);
+  SubsolveWorkers workers(endpoint.port(), 2);
+  ASSERT_TRUE(endpoint.wait_for_workers(2, 10s));
+
+  mw::ConcurrentOptions options;
+  options.remote = &endpoint;
+  options.retry = fault::RetryPolicy{};
+  options.retry->max_attempts = 10;
+  options.retry->backoff_initial = 2ms;
+  const auto remote = mw::solve_concurrent(program, options);
+
+  EXPECT_EQ(remote.solve.combined.max_diff(seq.combined), 0.0);
+  EXPECT_EQ(remote.protocol.faults.abandoned, 0u);
+  endpoint.shutdown();
+}
+
+TEST(PipelinedSolve, DepthFourUnderChurnStaysBitIdentical) {
+  transport::ProgramConfig program;
+  program.root = 2;
+  program.level = 3;
+  const auto seq = transport::solve_sequential(program);
+
+  net::RemoteEndpointConfig config;
+  config.elastic.enabled = true;
+  config.elastic.lease_depth = 2;
+  config.elastic.pipeline_depth = 4;
+  net::RemoteEndpoint endpoint(net::TcpListener("127.0.0.1", 0), config);
+  SubsolveWorkers workers(endpoint.port(), 3);
+  ASSERT_TRUE(endpoint.wait_for_workers(3, 10s));
+
+  fleet::ChurnPlanConfig churn_config;
+  churn_config.seed = 5;
+  churn_config.leaves = 1;
+  churn_config.crashes = 1;
+  churn_config.start_seconds = 0.02;
+  churn_config.spread_seconds = 0.2;
+  const fleet::ChurnPlan plan(churn_config);
+  std::atomic<bool> stop{false};
+  std::thread churner([&] { net::drive_churn(endpoint, plan, stop); });
+
+  mw::ConcurrentOptions options;
+  options.remote = &endpoint;
+  options.retry = fault::RetryPolicy{};
+  options.retry->max_attempts = 6;
+  options.retry->backoff_initial = 2ms;
+  const auto remote = mw::solve_concurrent(program, options);
+
+  stop.store(true);
+  churner.join();
+  EXPECT_EQ(remote.solve.combined.max_diff(seq.combined), 0.0);
+  endpoint.shutdown();
 }
 
 }  // namespace

@@ -124,6 +124,81 @@ TEST(NetSoak, FourProcessesTwoHundredTasksUnderFrameFaultsLeakNoFds) {
   EXPECT_EQ(open_fd_count(), fds_before);
 }
 
+TEST(NetSoak, PipelinedFourDeepTwoHundredTasksUnderFrameFaultsLeakNoFds) {
+  // The pipelined variant of the soak above: 8 client threads against 4
+  // forked workers with an explicit depth-4 window, so every channel runs
+  // with multiple seq-tagged frames in flight while the fault plan drops,
+  // truncates and delays frames mid-window.  Same obligations: every task
+  // lands (retried through faults), every reply matches, no fd leaks.
+  const std::size_t fds_before = open_fd_count();
+  {
+    net::TcpListener listener("127.0.0.1", 0);
+    const std::uint16_t port = listener.port();
+    const auto pids = net::fork_worker_processes(4, [&listener, port] {
+      listener.close();
+      return run_echo_worker("127.0.0.1", port);
+    });
+
+    fault::FaultPlanConfig fault_config;
+    fault_config.seed = 20041;
+    fault_config.net_drop = 0.05;
+    fault_config.net_truncate = 0.05;
+    fault_config.net_slow = 0.10;
+    fault_config.net_delay = 5ms;
+    const fault::FaultPlan plan(fault_config);
+
+    net::RemoteEndpointConfig config;
+    config.round_trip_deadline = 500ms;
+    config.faults = &plan;
+    config.elastic.pipeline_depth = 4;
+    net::RemoteEndpoint endpoint(std::move(listener), config);
+    ASSERT_TRUE(endpoint.wait_for_workers(4, 15s));
+
+    std::atomic<int> wrong{0};
+    std::atomic<int> exhausted{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 8; ++t) {
+      clients.emplace_back([&endpoint, &wrong, &exhausted, t] {
+        for (int i = 0; i < 25; ++i) {
+          const auto work = task_payload(t * 25 + i);
+          net::RemoteEndpoint::RoundTrip trip;
+          bool done = false;
+          for (int attempt = 0; attempt < 20 && !done; ++attempt) {
+            trip = endpoint.round_trip(work);
+            done = trip.ok;
+          }
+          if (!done) {
+            exhausted.fetch_add(1);
+          } else if (trip.payload != expected_reply(work)) {
+            wrong.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+
+    EXPECT_EQ(wrong.load(), 0);
+    EXPECT_EQ(exhausted.load(), 0);
+
+    const net::RemoteCounters counters = endpoint.counters();
+    EXPECT_GE(counters.round_trips_ok, 200u);
+    EXPECT_GT(counters.faults_dropped, 0u);
+    EXPECT_GT(counters.faults_truncated, 0u);
+    EXPECT_GT(counters.faults_delayed, 0u);
+    // A dropped frame's deadline (and a truncate's close) fails not just its
+    // own trip but every other lease riding the same channel — those are
+    // requeued or failed and retried — so failures may exceed injections,
+    // never undercut them.
+    EXPECT_GE(counters.round_trips_failed,
+              counters.faults_dropped + counters.faults_truncated);
+    EXPECT_GT(counters.reconnects, 0u);
+
+    endpoint.shutdown();
+    EXPECT_EQ(net::wait_worker_processes(pids), 0);
+  }
+  EXPECT_EQ(open_fd_count(), fds_before);
+}
+
 // ---- solver bit-identity over real fork + TCP ---------------------------------------
 
 transport::ProgramConfig soak_program() {
